@@ -1,0 +1,24 @@
+"""Benchmark: Section 6.2 compliance on FEASIBLE(S) and SP2Bench.
+
+Expected shape: SparqLog and the native engine agree with the majority
+vote on every query; the Virtuoso-like engine deviates on some queries
+(duplicate handling) and never forms its own majority.
+"""
+
+from repro.compliance.compare import ComparisonOutcome
+from repro.harness.experiments import ExperimentConfig, feasible_sp2bench_compliance
+
+
+def test_feasible_and_sp2bench_compliance(benchmark):
+    config = ExperimentConfig(scale=0.05, query_limit=25, timeout_seconds=8)
+    reports, text = benchmark.pedantic(
+        feasible_sp2bench_compliance, args=(config,), rounds=1, iterations=1
+    )
+    print()
+    print(text)
+    for report in reports.values():
+        total = report.total_queries()
+        counts = report.outcome_counts("SparqLog")
+        # SparqLog answers every supported query in agreement with the majority.
+        assert counts[ComparisonOutcome.CORRECT] >= total - counts[ComparisonOutcome.ERROR]
+        assert report.correct_count("Native") == total

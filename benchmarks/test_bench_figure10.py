@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 10 (ontological reasoning performance).
+
+Expected shape: SparqLog (reasoning inside the Datalog± program) and the
+Stardog-like engine (materialise then query) both answer the ontology
+queries; SparqLog stays competitive and handles the recursive
+property-path queries over inferred edges.
+"""
+
+from repro.harness.experiments import figure10_ontology, table7_8_gmark_summary
+
+
+def test_figure10_ontology(benchmark, quick_config):
+    series = benchmark.pedantic(
+        figure10_ontology, args=(quick_config,), rounds=1, iterations=1
+    )
+    print()
+    print(series.render())
+    print(table7_8_gmark_summary(series))
+    assert series.completed("SparqLog") >= len(series.query_ids) - 1
+    assert set(series.times) == {"SparqLog", "StardogLike"}

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 7 / Table 11 (SP2Bench performance).
+
+Expected shape: all three systems answer the SP2Bench-like queries; total
+times are within a small factor of each other on this workload (no
+recursive property paths are involved).
+"""
+
+from repro.harness.experiments import (
+    figure7_sp2bench_performance,
+    table7_8_gmark_summary,
+)
+
+
+def test_figure7_sp2bench_performance(benchmark, quick_config):
+    series = benchmark.pedantic(
+        figure7_sp2bench_performance, args=(quick_config,), rounds=1, iterations=1
+    )
+    print()
+    print(series.render())
+    print(table7_8_gmark_summary(series))
+    assert series.completed("SparqLog") >= len(series.query_ids) - 1
+    assert series.completed("Native") >= len(series.query_ids) - 1

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 8 / Tables 7 and 9 (gMark Social).
+
+Expected shape: SparqLog and the native engine answer the path queries;
+the Virtuoso-like engine cannot answer the recursive two-variable ones
+(errors), mirroring the paper's finding that Virtuoso fails on a large
+fraction of the gMark workload.
+"""
+
+from repro.harness.experiments import figure8_gmark_social, table7_8_gmark_summary
+
+
+def test_figure8_gmark_social(benchmark, quick_config):
+    series = benchmark.pedantic(
+        figure8_gmark_social, args=(quick_config,), rounds=1, iterations=1
+    )
+    print()
+    print(series.render())
+    print(table7_8_gmark_summary(series))
+    assert series.failures("VirtuosoLike") >= 1
+    assert series.completed("SparqLog") >= series.completed("VirtuosoLike")

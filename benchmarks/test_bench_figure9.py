@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 9 / Tables 8 and 10 (gMark Test)."""
+
+from repro.harness.experiments import figure9_gmark_test, table7_8_gmark_summary
+
+
+def test_figure9_gmark_test(benchmark, quick_config):
+    series = benchmark.pedantic(
+        figure9_gmark_test, args=(quick_config,), rounds=1, iterations=1
+    )
+    print()
+    print(series.render())
+    print(table7_8_gmark_summary(series))
+    assert series.completed("SparqLog") >= 1
+    assert series.completed("Native") >= 1
+    # The Virtuoso-like engine rejects two-variable recursive paths.
+    assert series.failures("VirtuosoLike") >= series.failures("Native")

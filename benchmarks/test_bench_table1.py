@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1 (SPARQL feature coverage of SparqLog)."""
+
+from repro.harness.experiments import table1_feature_coverage
+
+
+def test_table1_feature_coverage(benchmark):
+    text = benchmark.pedantic(table1_feature_coverage, rounds=1, iterations=1)
+    print()
+    print(text)
+    assert "Property paths" in text

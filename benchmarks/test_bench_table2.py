@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 2 (feature coverage of SPARQL benchmarks)."""
+
+from repro.harness.experiments import table2_benchmark_features
+
+
+def test_table2_benchmark_features(benchmark, quick_config):
+    text = benchmark.pedantic(
+        table2_benchmark_features, args=(quick_config,), rounds=1, iterations=1
+    )
+    print()
+    print(text)
+    assert "FEASIBLE (S)" in text
+    assert "paper reference" in text

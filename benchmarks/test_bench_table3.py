@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table 3 (BeSEPPI property-path compliance).
+
+Expected shape (matching the paper): SparqLog and the native engine answer
+every query correctly; the Virtuoso-like engine produces incomplete
+results and errors on the recursive property-path categories.
+"""
+
+from repro.compliance.compare import ComparisonOutcome
+from repro.harness.experiments import table3_beseppi_compliance
+
+
+def test_table3_beseppi_compliance(benchmark, compliance_config):
+    report, text = benchmark.pedantic(
+        table3_beseppi_compliance, args=(compliance_config,), rounds=1, iterations=1
+    )
+    print()
+    print(text)
+    # SparqLog and the native engine are fully standard compliant.
+    total = report.total_queries()
+    assert report.correct_count("SparqLog") == total
+    assert report.correct_count("Native") == total
+    # The Virtuoso-like engine is not.
+    virtuoso_counts = report.outcome_counts("VirtuosoLike")
+    assert virtuoso_counts[ComparisonOutcome.ERROR] > 0
+    assert virtuoso_counts[ComparisonOutcome.INCOMPLETE_CORRECT] > 0

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 6 (benchmark statistics)."""
+
+from repro.harness.experiments import table6_benchmark_statistics
+
+
+def test_table6_statistics(benchmark, quick_config):
+    text = benchmark.pedantic(
+        table6_benchmark_statistics, args=(quick_config,), rounds=1, iterations=1
+    )
+    print()
+    print(text)
+    assert "gMark-social" in text
+    assert "SP2Bench" in text

@@ -1,0 +1,27 @@
+"""Compliance check: BeSEPPI-style property-path conformance testing.
+
+Runs the full 236-query BeSEPPI-like suite (every query carries its
+expected answer) over the three engines and prints the Table 3 error
+taxonomy, reproducing the paper's finding that SparqLog and the
+Fuseki-like engine are fully standard compliant while the Virtuoso-like
+engine fails on recursive property paths.
+
+Run with:  python examples/compliance_check.py
+"""
+
+from repro.harness.experiments import ExperimentConfig, table3_beseppi_compliance
+
+
+def main() -> None:
+    config = ExperimentConfig(timeout_seconds=20)
+    report, text = table3_beseppi_compliance(config)
+    print(text)
+    print()
+    total = report.total_queries()
+    for engine in ("SparqLog", "Native", "VirtuosoLike"):
+        correct = report.correct_count(engine)
+        print(f"{engine:>14}: {correct}/{total} queries answered correctly")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Run the complete experimental evaluation (all tables and figures).
+
+This is the script behind EXPERIMENTS.md: it executes every experiment
+driver at a configurable scale and prints the regenerated tables and
+figure series.  The defaults are sized for a few minutes on a laptop;
+``--scale``/``--timeout`` move it closer to the paper's setup.
+
+Run with:  python examples/run_full_evaluation.py [--scale 0.15] [--queries 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.harness import experiments
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="dataset scale factor relative to the paper's sizes")
+    parser.add_argument("--queries", type=int, default=20,
+                        help="number of queries per performance workload")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-query timeout in seconds (paper: 900s)")
+    arguments = parser.parse_args()
+
+    config = experiments.ExperimentConfig(
+        scale=arguments.scale,
+        query_limit=arguments.queries,
+        timeout_seconds=arguments.timeout,
+    )
+    compliance_config = experiments.ExperimentConfig(
+        scale=arguments.scale, query_limit=None, timeout_seconds=arguments.timeout
+    )
+
+    start = time.time()
+
+    print(experiments.table1_feature_coverage())
+    print()
+    print(experiments.table2_benchmark_features(config))
+    print()
+
+    _, table3 = experiments.table3_beseppi_compliance(compliance_config)
+    print(table3)
+    print()
+
+    _, compliance_text = experiments.feasible_sp2bench_compliance(config)
+    print(compliance_text)
+    print()
+
+    print(experiments.table6_benchmark_statistics(config))
+    print()
+
+    figure7 = experiments.figure7_sp2bench_performance(config)
+    print(figure7.render())
+    print(experiments.table7_8_gmark_summary(figure7))
+    print()
+
+    figure8 = experiments.figure8_gmark_social(config)
+    print(figure8.render())
+    print(experiments.table7_8_gmark_summary(figure8))
+    print()
+
+    figure9 = experiments.figure9_gmark_test(config)
+    print(figure9.render())
+    print(experiments.table7_8_gmark_summary(figure9))
+    print()
+
+    figure10 = experiments.figure10_ontology(config)
+    print(figure10.render())
+    print(experiments.table7_8_gmark_summary(figure10))
+    print()
+
+    print(f"Total evaluation time: {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — a reproduction of SparqLog (VLDB 2023).
+
+SparqLog evaluates SPARQL 1.1 queries by translating them, together with
+the RDF dataset, into Warded Datalog± programs.  This package contains the
+full stack needed to reproduce the paper on a laptop:
+
+* :mod:`repro.rdf` — RDF data model and serialisation,
+* :mod:`repro.sparql` — SPARQL 1.1 parser, algebra and reference evaluator,
+* :mod:`repro.datalog` — Warded Datalog± engine (the Vadalog substrate),
+* :mod:`repro.core` — the SparqLog translation and engine,
+* :mod:`repro.baselines` — the comparison systems (Fuseki-, Virtuoso- and
+  Stardog-like behaviour profiles),
+* :mod:`repro.workloads` — benchmark generators (SP2Bench-, gMark-,
+  BeSEPPI-, FEASIBLE-like and the ontology benchmark),
+* :mod:`repro.compliance` — result comparison and the compliance metrics,
+* :mod:`repro.harness` — experiment drivers for every table and figure.
+
+Quickstart::
+
+    from repro import SparqLogEngine, parse_turtle, Dataset
+
+    graph = parse_turtle(open("data.ttl").read())
+    engine = SparqLogEngine(Dataset.from_graph(graph))
+    for row in engine.query("SELECT ?s WHERE { ?s a <http://example.org/City> }"):
+        print(row)
+"""
+
+from repro.rdf import (
+    BlankNode,
+    Dataset,
+    Graph,
+    IRI,
+    Literal,
+    Namespace,
+    Triple,
+    Variable,
+    parse_ntriples,
+    parse_turtle,
+)
+from repro.sparql import SparqlEvaluator, parse_query
+from repro.core import Ontology, SparqLogEngine
+from repro.baselines import (
+    NativeSparqlEngine,
+    StardogLikeEngine,
+    VirtuosoLikeEngine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlankNode",
+    "Dataset",
+    "Graph",
+    "IRI",
+    "Literal",
+    "Namespace",
+    "NativeSparqlEngine",
+    "Ontology",
+    "SparqLogEngine",
+    "SparqlEvaluator",
+    "StardogLikeEngine",
+    "Triple",
+    "Variable",
+    "VirtuosoLikeEngine",
+    "parse_ntriples",
+    "parse_query",
+    "parse_turtle",
+    "__version__",
+]

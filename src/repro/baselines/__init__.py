@@ -1,0 +1,33 @@
+"""Baseline SPARQL engines used in the compliance and performance studies.
+
+The paper compares SparqLog against Apache Jena Fuseki, OpenLink Virtuoso
+and Stardog.  Those systems are closed or impractical to embed here, so
+the reproduction implements one engine per *behavioural profile* the paper
+reports:
+
+* :class:`NativeSparqlEngine` — a fully standard-compliant direct
+  evaluator (the Fuseki role),
+* :class:`VirtuosoLikeEngine` — a relational-style engine that reproduces
+  the documented non-standard behaviours of Virtuoso on property paths,
+  DISTINCT and UNION duplicates,
+* :class:`StardogLikeEngine` — an ontology-materialising engine whose
+  property-path evaluation searches per start node (the Stardog role in
+  the Figure 10 experiment).
+
+All engines implement :class:`SparqlEngine` so the compliance framework
+and the benchmark harness can drive them interchangeably.
+"""
+
+from repro.baselines.interface import EngineError, QueryOutcome, SparqlEngine
+from repro.baselines.native import NativeSparqlEngine
+from repro.baselines.virtuoso_like import VirtuosoLikeEngine
+from repro.baselines.stardog_like import StardogLikeEngine
+
+__all__ = [
+    "EngineError",
+    "NativeSparqlEngine",
+    "QueryOutcome",
+    "SparqlEngine",
+    "StardogLikeEngine",
+    "VirtuosoLikeEngine",
+]

@@ -1,0 +1,62 @@
+"""Common interface of every SPARQL engine in the reproduction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.rdf.graph import Dataset
+from repro.sparql.solutions import SolutionSequence
+
+
+class EngineError(RuntimeError):
+    """Raised when an engine cannot evaluate a query.
+
+    The compliance framework records this as the "Error" outcome category
+    (Table 3 / the gMark result tables), so engines signal unsupported
+    features, timeouts and internal failures uniformly through it.
+    """
+
+
+@dataclass
+class QueryOutcome:
+    """The outcome of running one query on one engine.
+
+    Exactly one of ``result`` / ``boolean`` / ``error`` is populated.
+    ``elapsed_seconds`` is the wall-clock evaluation time (query only).
+    """
+
+    engine: str
+    query_id: str
+    result: Optional[SolutionSequence] = None
+    boolean: Optional[bool] = None
+    error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+
+class SparqlEngine:
+    """Abstract engine: evaluate SPARQL queries over an RDF dataset."""
+
+    #: Human-readable engine name used in reports.
+    name = "abstract"
+
+    def __init__(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+
+    def query(self, query_text: str) -> Union[SolutionSequence, bool]:
+        """Evaluate a SPARQL query string.
+
+        Returns a :class:`SolutionSequence` for SELECT queries or a boolean
+        for ASK queries.  Raises :class:`EngineError` when the engine cannot
+        evaluate the query.
+        """
+        raise NotImplementedError
+
+    def load(self, dataset: Dataset) -> None:
+        """Replace the engine's dataset (used by the reload-per-query harness)."""
+        self.dataset = dataset

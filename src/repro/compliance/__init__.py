@@ -1,0 +1,35 @@
+"""Compliance framework: result comparison, metrics and test runners.
+
+Implements the methodology of Appendix D.2 of the paper: results of
+different engines are compared as multisets of solution mappings (blank
+node labels are not distinguished), queries are classified into the error
+taxonomy of Table 3 (correct/complete, incomplete-but-correct,
+complete-but-incorrect, incomplete-and-incorrect, error), and the
+correctness / completeness ratios of BeSEPPI are computed.  For benchmarks
+without published expected answers the expected result is determined by
+majority voting across the tested engines, exactly as the paper does.
+"""
+
+from repro.compliance.compare import (
+    ComparisonOutcome,
+    canonical_rows,
+    classify_result,
+    completeness,
+    correctness,
+    majority_vote,
+    results_equal,
+)
+from repro.compliance.runner import ComplianceReport, ComplianceRunner, QueryRecord
+
+__all__ = [
+    "ComparisonOutcome",
+    "ComplianceReport",
+    "ComplianceRunner",
+    "QueryRecord",
+    "canonical_rows",
+    "classify_result",
+    "completeness",
+    "correctness",
+    "majority_vote",
+    "results_equal",
+]

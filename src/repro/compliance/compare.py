@@ -1,0 +1,145 @@
+"""Result comparison and the correctness / completeness metrics.
+
+Definitions follow Appendix D.2.3 of the paper (which in turn follows the
+BeSEPPI methodology):
+
+* ``correctness``  = |expected ∩ actual| / |actual|   (1 when actual empty),
+* ``completeness`` = |expected ∩ actual| / |expected| (1 when expected empty),
+
+with both computed over *multisets* of result rows.  A result is then
+classified as one of: ``correct`` (correct and complete),
+``incomplete_correct``, ``complete_incorrect``, ``incomplete_incorrect``
+or ``error``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.rdf.terms import BlankNode, Term
+from repro.sparql.solutions import SolutionSequence
+
+#: A comparable result: an engine answer (solution sequence or boolean), a
+#: pre-computed multiset of rows (benchmark-supplied expected answers), or
+#: ``None`` for an errored evaluation.
+ResultLike = Union[SolutionSequence, bool, Counter, None]
+
+
+class ComparisonOutcome(str, Enum):
+    """The Table 3 error taxonomy."""
+
+    CORRECT = "correct"
+    INCOMPLETE_CORRECT = "incomplete_correct"
+    COMPLETE_INCORRECT = "complete_incorrect"
+    INCOMPLETE_INCORRECT = "incomplete_incorrect"
+    ERROR = "error"
+
+
+def _canonical_term(term: Optional[Term]) -> Optional[Term]:
+    """Blank node labels are engine-specific, so all blank nodes compare equal."""
+    if isinstance(term, BlankNode):
+        return BlankNode("_")
+    return term
+
+
+def canonical_rows(result: SolutionSequence) -> Counter:
+    """Return the multiset of rows with blank nodes canonicalised."""
+    return Counter(
+        tuple(_canonical_term(value) for value in row) for row in result.rows()
+    )
+
+
+def _as_multiset(result: ResultLike) -> Optional[Counter]:
+    if isinstance(result, SolutionSequence):
+        return canonical_rows(result)
+    if isinstance(result, Counter):
+        return Counter(
+            {
+                tuple(_canonical_term(value) for value in row): count
+                for row, count in result.items()
+            }
+        )
+    if isinstance(result, bool):
+        return Counter([(result,)])
+    return None
+
+
+def correctness(actual: ResultLike, expected: ResultLike) -> float:
+    """Fraction of returned rows that are expected."""
+    actual_rows = _as_multiset(actual)
+    expected_rows = _as_multiset(expected)
+    if actual_rows is None or expected_rows is None:
+        return 0.0
+    total = sum(actual_rows.values())
+    if total == 0:
+        return 1.0
+    overlap = sum((actual_rows & expected_rows).values())
+    return overlap / total
+
+
+def completeness(actual: ResultLike, expected: ResultLike) -> float:
+    """Fraction of expected rows that were returned."""
+    actual_rows = _as_multiset(actual)
+    expected_rows = _as_multiset(expected)
+    if actual_rows is None or expected_rows is None:
+        return 0.0
+    total = sum(expected_rows.values())
+    if total == 0:
+        return 1.0
+    overlap = sum((actual_rows & expected_rows).values())
+    return overlap / total
+
+
+def results_equal(left: ResultLike, right: ResultLike) -> bool:
+    """Multiset equality of two results (blank-node insensitive)."""
+    if isinstance(left, bool) or isinstance(right, bool):
+        return left == right
+    left_rows = _as_multiset(left)
+    right_rows = _as_multiset(right)
+    if left_rows is None or right_rows is None:
+        return False
+    return left_rows == right_rows
+
+
+def classify_result(
+    actual: ResultLike,
+    expected: ResultLike,
+    errored: bool = False,
+) -> ComparisonOutcome:
+    """Classify one engine's answer against the expected answer."""
+    if errored or actual is None:
+        return ComparisonOutcome.ERROR
+    if isinstance(expected, bool) or isinstance(actual, bool):
+        return (
+            ComparisonOutcome.CORRECT
+            if actual == expected
+            else ComparisonOutcome.INCOMPLETE_INCORRECT
+        )
+    is_correct = correctness(actual, expected) >= 1.0
+    is_complete = completeness(actual, expected) >= 1.0
+    if is_correct and is_complete:
+        return ComparisonOutcome.CORRECT
+    if is_correct and not is_complete:
+        return ComparisonOutcome.INCOMPLETE_CORRECT
+    if is_complete and not is_correct:
+        return ComparisonOutcome.COMPLETE_INCORRECT
+    return ComparisonOutcome.INCOMPLETE_INCORRECT
+
+
+def majority_vote(results: Sequence[ResultLike]) -> Optional[ResultLike]:
+    """Determine the expected answer by majority voting across engines.
+
+    A result is accepted when at least two of the given results agree
+    (the paper's strategy for FEASIBLE and SP2Bench, which ship no
+    expected answers).  ``None`` entries (errors) never vote.
+    """
+    candidates = [result for result in results if result is not None]
+    for index, candidate in enumerate(candidates):
+        agreement = sum(
+            1 for other in candidates if results_equal(candidate, other)
+        )
+        if agreement >= 2:
+            return candidate
+    return candidates[0] if candidates else None

@@ -1,0 +1,159 @@
+"""Compliance test runner: execute query suites across engines.
+
+The runner follows the experimental protocol of the paper: each query is
+run on every engine (optionally with a timeout), the expected answer comes
+either from the benchmark itself (BeSEPPI) or from majority voting across
+the engines (FEASIBLE, SP2Bench), and each answer is classified into the
+Table 3 error taxonomy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.baselines.interface import EngineError
+from repro.compliance.compare import (
+    ComparisonOutcome,
+    ResultLike,
+    classify_result,
+    majority_vote,
+)
+from repro.harness.timing import TimeoutError_, call_with_timeout
+from repro.workloads.beseppi import BeSEPPIQuery
+from repro.workloads.sp2bench import BenchmarkQuery
+
+
+@dataclass
+class QueryRecord:
+    """The outcome of one (engine, query) pair."""
+
+    engine: str
+    query_id: str
+    category: str
+    outcome: ComparisonOutcome
+    elapsed_seconds: float = 0.0
+    error: Optional[str] = None
+
+
+@dataclass
+class ComplianceReport:
+    """All records of a compliance run, with aggregation helpers."""
+
+    benchmark: str
+    records: List[QueryRecord] = field(default_factory=list)
+
+    def by_engine(self) -> Dict[str, List[QueryRecord]]:
+        grouped: Dict[str, List[QueryRecord]] = defaultdict(list)
+        for record in self.records:
+            grouped[record.engine].append(record)
+        return dict(grouped)
+
+    def outcome_counts(self, engine: str) -> Counter:
+        return Counter(
+            record.outcome for record in self.records if record.engine == engine
+        )
+
+    def outcome_counts_by_category(self, engine: str) -> Dict[str, Counter]:
+        grouped: Dict[str, Counter] = defaultdict(Counter)
+        for record in self.records:
+            if record.engine == engine:
+                grouped[record.category][record.outcome] += 1
+        return dict(grouped)
+
+    def correct_count(self, engine: str) -> int:
+        return self.outcome_counts(engine)[ComparisonOutcome.CORRECT]
+
+    def total_queries(self) -> int:
+        engines = {record.engine for record in self.records}
+        if not engines:
+            return 0
+        return len(self.records) // len(engines)
+
+
+class ComplianceRunner:
+    """Run a query suite over a set of engines and classify the answers."""
+
+    def __init__(self, engines: Sequence, timeout_seconds: Optional[float] = None) -> None:
+        self.engines = list(engines)
+        self.timeout_seconds = timeout_seconds
+
+    # ------------------------------------------------------------------
+    # execution helpers
+    # ------------------------------------------------------------------
+    def _run_single(self, engine, query_text: str):
+        """Run one query; returns (result_or_None, error_message_or_None)."""
+        try:
+            if self.timeout_seconds is not None:
+                result = call_with_timeout(
+                    lambda: engine.query(query_text), self.timeout_seconds
+                )
+            else:
+                result = engine.query(query_text)
+            return result, None
+        except (EngineError, TimeoutError_) as error:
+            return None, str(error)
+        except NotImplementedError as error:
+            return None, f"unsupported: {error}"
+        except Exception as error:  # noqa: BLE001 - engines may fail arbitrarily
+            return None, f"{type(error).__name__}: {error}"
+
+    # ------------------------------------------------------------------
+    # benchmark-specific entry points
+    # ------------------------------------------------------------------
+    def run_with_expected(
+        self, benchmark_name: str, queries: Sequence[BeSEPPIQuery]
+    ) -> ComplianceReport:
+        """Run a suite whose queries carry their expected answer (BeSEPPI)."""
+        report = ComplianceReport(benchmark=benchmark_name)
+        for query in queries:
+            expected: ResultLike
+            if query.expected_boolean is not None:
+                expected = query.expected_boolean
+            else:
+                expected = query.expected_rows
+            for engine in self.engines:
+                result, error = self._run_single(engine, query.text)
+                outcome = classify_result(result, expected, errored=error is not None)
+                report.records.append(
+                    QueryRecord(
+                        engine=engine.name,
+                        query_id=query.query_id,
+                        category=query.category,
+                        outcome=outcome,
+                        error=error,
+                    )
+                )
+        return report
+
+    def run_with_majority_vote(
+        self, benchmark_name: str, queries: Sequence[BenchmarkQuery]
+    ) -> ComplianceReport:
+        """Run a suite without expected answers (FEASIBLE / SP2Bench)."""
+        report = ComplianceReport(benchmark=benchmark_name)
+        for query in queries:
+            results: Dict[str, ResultLike] = {}
+            errors: Dict[str, Optional[str]] = {}
+            for engine in self.engines:
+                result, error = self._run_single(engine, query.text)
+                results[engine.name] = result
+                errors[engine.name] = error
+            expected = majority_vote(list(results.values()))
+            category = query.features[0] if query.features else "general"
+            for engine in self.engines:
+                outcome = classify_result(
+                    results[engine.name],
+                    expected,
+                    errored=errors[engine.name] is not None,
+                )
+                report.records.append(
+                    QueryRecord(
+                        engine=engine.name,
+                        query_id=query.query_id,
+                        category=category,
+                        outcome=outcome,
+                        error=errors[engine.name],
+                    )
+                )
+        return report

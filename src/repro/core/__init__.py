@@ -1,0 +1,43 @@
+"""SparqLog core: translation of SPARQL 1.1 to Warded Datalog±.
+
+The package implements the three translation methods of the paper
+(Section 4):
+
+* :mod:`repro.core.data_translation` — T_D, RDF dataset → Datalog facts;
+* :mod:`repro.core.query_translation` — T_Q, SPARQL algebra → Datalog±
+  rules (graph patterns, property paths, query forms, bag and set
+  semantics, Skolem-generated tuple IDs);
+* :mod:`repro.core.solution_translation` — T_S, Datalog± answers →
+  SPARQL solution sequences (solution modifiers applied here, as in the
+  paper's use of Vadalog ``@post`` directives).
+
+:class:`repro.core.engine.SparqLogEngine` glues the three together with
+the Datalog engine and adds ontological reasoning (:mod:`repro.core.ontology`).
+"""
+
+from repro.core.capabilities import FEATURE_TABLE, FeatureStatus, supported_features
+from repro.core.data_translation import DataTranslator
+from repro.core.engine import SparqLogEngine
+from repro.core.ontology import Ontology, OntologyAxiom
+from repro.core.query_translation import (
+    QueryTranslator,
+    TranslationResult,
+    UnsupportedFeatureError,
+)
+from repro.core.skolem import SkolemFunctionGenerator
+from repro.core.solution_translation import SolutionTranslator
+
+__all__ = [
+    "DataTranslator",
+    "FEATURE_TABLE",
+    "FeatureStatus",
+    "Ontology",
+    "OntologyAxiom",
+    "QueryTranslator",
+    "SkolemFunctionGenerator",
+    "SolutionTranslator",
+    "SparqLogEngine",
+    "TranslationResult",
+    "UnsupportedFeatureError",
+    "supported_features",
+]

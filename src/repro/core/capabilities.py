@@ -1,0 +1,83 @@
+"""SPARQL feature coverage of SparqLog (Table 1 of the paper).
+
+The registry records, for every SPARQL 1.1 feature the paper discusses,
+its general feature group, the real-world usage figure reported by
+Bonifati et al. (as cited in the paper) and whether this implementation
+supports it.  The table-1 benchmark regenerates the paper's table from
+this registry, and the query translator consults it to reject unsupported
+features with a clear error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class FeatureStatus:
+    """One row of Table 1."""
+
+    general_feature: str
+    specific_feature: str
+    usage: Optional[str]
+    supported: bool
+
+
+#: The rows of Table 1, in the paper's order.  ``usage`` is the
+#: percentage string from Bonifati et al., "Basic Feature" or "Unknown".
+FEATURE_TABLE: List[FeatureStatus] = [
+    FeatureStatus("Terms", "IRIs, Literals, Blank nodes", "Basic Feature", True),
+    FeatureStatus("Semantics", "Sets, Bags", "Basic Feature", True),
+    FeatureStatus("Graph patterns", "Triple pattern", "Basic Feature", True),
+    FeatureStatus("Graph patterns", "AND / JOIN", "28.25%", True),
+    FeatureStatus("Graph patterns", "OPTIONAL", "16.21%", True),
+    FeatureStatus("Graph patterns", "UNION", "18.63%", True),
+    FeatureStatus("Graph patterns", "GROUP Graph Pattern", "< 1%", False),
+    FeatureStatus("Filter constraints", "Equality / Inequality", "40.15%", True),
+    FeatureStatus("Filter constraints", "Arithmetic Comparison", "40.15%", True),
+    FeatureStatus("Filter constraints", "bound, isIRI, isBlank, isLiteral", "40.15%", True),
+    FeatureStatus("Filter constraints", "Regex", "40.15%", True),
+    FeatureStatus("Filter constraints", "AND, OR, NOT", "40.15%", True),
+    FeatureStatus("Query forms", "SELECT", "87.97%", True),
+    FeatureStatus("Query forms", "ASK", "4.97%", True),
+    FeatureStatus("Query forms", "CONSTRUCT", "4.49%", False),
+    FeatureStatus("Query forms", "DESCRIBE", "2.47%", False),
+    FeatureStatus("Solution modifiers", "ORDER BY", "2.06%", True),
+    FeatureStatus("Solution modifiers", "DISTINCT", "21.72%", True),
+    FeatureStatus("Solution modifiers", "LIMIT", "17.00%", True),
+    FeatureStatus("Solution modifiers", "OFFSET", "6.15%", True),
+    FeatureStatus("RDF datasets", "GRAPH ?x { ... }", "2.71%", True),
+    FeatureStatus("RDF datasets", "FROM (NAMED)", "Unknown", True),
+    FeatureStatus("Negation", "MINUS", "1.36%", True),
+    FeatureStatus("Negation", "FILTER NOT EXISTS", "1.65%", False),
+    FeatureStatus("Property paths", "LinkPath (X exp Y)", "< 1%", True),
+    FeatureStatus("Property paths", "InversePath (^exp)", "< 1%", True),
+    FeatureStatus("Property paths", "SequencePath (exp1 / exp2)", "< 1%", True),
+    FeatureStatus("Property paths", "AlternativePath (exp1 | exp2)", "< 1%", True),
+    FeatureStatus("Property paths", "ZeroOrMorePath (exp*)", "< 1%", True),
+    FeatureStatus("Property paths", "OneOrMorePath (exp+)", "< 1%", True),
+    FeatureStatus("Property paths", "ZeroOrOnePath (expr?)", "< 1%", True),
+    FeatureStatus("Property paths", "NegatedPropertySet (!expr)", "< 1%", True),
+    FeatureStatus("Assignment", "BIND", "< 1%", False),
+    FeatureStatus("Assignment", "VALUES", "< 1%", False),
+    FeatureStatus("Aggregates", "GROUP BY", "< 1%", True),
+    FeatureStatus("Aggregates", "HAVING", "< 1%", False),
+    FeatureStatus("Sub-Queries", "Sub-Select Graph Pattern", "< 1%", False),
+    FeatureStatus("Sub-Queries", "FILTER EXISTS", "< 1%", False),
+    FeatureStatus("Filter functions", "Coalesce", "Unknown", True),
+    FeatureStatus("Filter functions", "IN / NOT IN", "Unknown", True),
+]
+
+
+def supported_features() -> Set[str]:
+    """Return the names of the specific features marked as supported."""
+    return {row.specific_feature for row in FEATURE_TABLE if row.supported}
+
+
+def feature_rows_by_group() -> Dict[str, List[FeatureStatus]]:
+    """Group the table rows by general feature (for report rendering)."""
+    grouped: Dict[str, List[FeatureStatus]] = {}
+    for row in FEATURE_TABLE:
+        grouped.setdefault(row.general_feature, []).append(row)
+    return grouped

@@ -1,0 +1,146 @@
+"""Data translation T_D: RDF datasets → Datalog facts and auxiliary rules.
+
+Following Appendix A.1 of the paper:
+
+* every RDF term of the dataset yields a fact ``iri(t)``, ``literal(t)``
+  or ``bnode(t)``, and the rules defining ``term`` union them;
+* every triple ``(s, p, o)`` of a graph ``g`` yields a fact
+  ``triple(s, p, o, g)`` where ``g`` is the constant ``"default"`` for the
+  default graph or the graph IRI for named graphs, which additionally
+  produce ``named(g)``;
+* the compatibility predicate ``comp`` and the ``null`` marker used by the
+  join/OPTIONAL translation (Definition A.2);
+* the ``subjectOrObject`` predicate used by zero-length property paths
+  (Definition A.17).  We keep the graph as an extra argument so that
+  zero-length paths stay scoped to the active graph — a small refinement
+  over the paper's single-argument definition that does not change results
+  on single-graph datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.datalog.rules import Atom, Program, Rule
+from repro.datalog.terms import Const, Var
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.terms import BlankNode, IRI, Literal, Term
+
+#: The constant naming the default graph in ``triple`` facts.
+DEFAULT_GRAPH = Const("default")
+
+#: The constant standing for an unbound value ("null" in the paper).
+NULL = Const("null")
+
+# Predicate names used throughout the translation.
+PRED_TRIPLE = "triple"
+PRED_IRI = "iri"
+PRED_LITERAL = "literal"
+PRED_BNODE = "bnode"
+PRED_TERM = "term"
+PRED_NAMED = "named"
+PRED_NULL = "null"
+PRED_COMP = "comp"
+PRED_SUBJECT_OR_OBJECT = "subjectOrObject"
+
+
+class DataTranslator:
+    """Translate an RDF dataset into the Datalog fact base."""
+
+    def translate(self, dataset: Dataset) -> Program:
+        """Return the program containing the facts and auxiliary rules."""
+        program = Program()
+        self._add_auxiliary_rules(program)
+        terms: Set[Term] = set()
+        self._translate_graph(program, dataset.default_graph, DEFAULT_GRAPH, terms)
+        for name, graph in dataset.named_graphs.items():
+            graph_constant = Const(name)
+            program.add_fact(Atom(PRED_NAMED, (graph_constant,)))
+            self._translate_graph(program, graph, graph_constant, terms)
+        for term in terms:
+            program.add_fact(Atom(self._term_predicate(term), (Const(term),)))
+        return program
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _term_predicate(term: Term) -> str:
+        if isinstance(term, IRI):
+            return PRED_IRI
+        if isinstance(term, Literal):
+            return PRED_LITERAL
+        if isinstance(term, BlankNode):
+            return PRED_BNODE
+        raise TypeError(f"not an RDF term: {term!r}")
+
+    def _translate_graph(
+        self,
+        program: Program,
+        graph: Graph,
+        graph_constant: Const,
+        terms: Set[Term],
+    ) -> None:
+        for triple in graph:
+            program.add_fact(
+                Atom(
+                    PRED_TRIPLE,
+                    (
+                        Const(triple.subject),
+                        Const(triple.predicate),
+                        Const(triple.object),
+                        graph_constant,
+                    ),
+                )
+            )
+            terms.update(triple)
+
+    def _add_auxiliary_rules(self, program: Program) -> None:
+        x, y, z, p, d = Var("X"), Var("Y"), Var("Z"), Var("P"), Var("D")
+
+        # term(X) :- iri(X) | literal(X) | bnode(X).
+        for source in (PRED_IRI, PRED_LITERAL, PRED_BNODE):
+            program.add_rule(
+                Rule(Atom(PRED_TERM, (x,)), (Atom(source, (x,)),), label=f"term-{source}")
+            )
+
+        # null("null").
+        program.add_fact(Atom(PRED_NULL, (NULL,)))
+
+        # Compatibility of two values (Definition A.2).
+        program.add_rule(
+            Rule(Atom(PRED_COMP, (x, x, x)), (Atom(PRED_TERM, (x,)),), label="comp-eq")
+        )
+        program.add_rule(
+            Rule(
+                Atom(PRED_COMP, (x, z, x)),
+                (Atom(PRED_TERM, (x,)), Atom(PRED_NULL, (z,))),
+                label="comp-right-null",
+            )
+        )
+        program.add_rule(
+            Rule(
+                Atom(PRED_COMP, (z, x, x)),
+                (Atom(PRED_TERM, (x,)), Atom(PRED_NULL, (z,))),
+                label="comp-left-null",
+            )
+        )
+        program.add_rule(
+            Rule(Atom(PRED_COMP, (z, z, z)), (Atom(PRED_NULL, (z,)),), label="comp-null")
+        )
+
+        # subjectOrObject(X, D): terms usable as zero-length path endpoints.
+        program.add_rule(
+            Rule(
+                Atom(PRED_SUBJECT_OR_OBJECT, (x, d)),
+                (Atom(PRED_TRIPLE, (x, p, y, d)),),
+                label="subjectOrObject-subject",
+            )
+        )
+        program.add_rule(
+            Rule(
+                Atom(PRED_SUBJECT_OR_OBJECT, (y, d)),
+                (Atom(PRED_TRIPLE, (x, p, y, d)),),
+                label="subjectOrObject-object",
+            )
+        )

@@ -1,0 +1,166 @@
+"""Ontological reasoning support (OWL 2 QL subset → Datalog± rules).
+
+One of the requirements the paper sets (RQ3) is ontological reasoning:
+SparqLog inherits it "for free" from the Datalog± substrate because
+ontology axioms become additional rules over the ``triple`` predicate and
+are evaluated together with the translated query.
+
+The supported axiom vocabulary covers what the paper's ontology benchmark
+uses (``rdfs:subClassOf``, ``rdfs:subPropertyOf``) plus domain, range and
+existential ("every instance of C has an R-successor of type D") axioms so
+that the Warded Datalog± machinery — labelled nulls via Skolem terms — is
+actually exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.data_translation import PRED_TRIPLE
+from repro.datalog.rules import Atom, Program, Rule
+from repro.datalog.terms import Const, Var
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, RDF, RDFS
+
+
+@dataclass(frozen=True)
+class OntologyAxiom:
+    """A single ontology axiom.
+
+    ``kind`` is one of ``subClassOf``, ``subPropertyOf``, ``domain``,
+    ``range`` and ``existential``.  For ``existential`` axioms the meaning
+    is: every instance of ``subject`` has a ``via`` successor that is an
+    instance of ``object`` (the successor is a fresh labelled null).
+    """
+
+    kind: str
+    subject: IRI
+    object: IRI
+    via: Optional[IRI] = None
+
+
+class Ontology:
+    """A set of ontology axioms translatable to Datalog± rules."""
+
+    def __init__(self, axioms: Optional[Iterable[OntologyAxiom]] = None) -> None:
+        self.axioms: List[OntologyAxiom] = list(axioms or [])
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def add_subclass(self, subclass: IRI, superclass: IRI) -> None:
+        self.axioms.append(OntologyAxiom("subClassOf", subclass, superclass))
+
+    def add_subproperty(self, subproperty: IRI, superproperty: IRI) -> None:
+        self.axioms.append(OntologyAxiom("subPropertyOf", subproperty, superproperty))
+
+    def add_domain(self, property_iri: IRI, class_iri: IRI) -> None:
+        self.axioms.append(OntologyAxiom("domain", property_iri, class_iri))
+
+    def add_range(self, property_iri: IRI, class_iri: IRI) -> None:
+        self.axioms.append(OntologyAxiom("range", property_iri, class_iri))
+
+    def add_existential(self, class_iri: IRI, property_iri: IRI, target_class: IRI) -> None:
+        self.axioms.append(
+            OntologyAxiom("existential", class_iri, target_class, via=property_iri)
+        )
+
+    def __len__(self) -> int:
+        return len(self.axioms)
+
+    def __repr__(self) -> str:
+        return f"Ontology({len(self.axioms)} axioms)"
+
+    @staticmethod
+    def from_graph(graph: Graph) -> "Ontology":
+        """Extract subclass / subproperty / domain / range axioms from RDF."""
+        ontology = Ontology()
+        for triple in graph.triples(None, RDFS.subClassOf, None):
+            if isinstance(triple.subject, IRI) and isinstance(triple.object, IRI):
+                ontology.add_subclass(triple.subject, triple.object)
+        for triple in graph.triples(None, RDFS.subPropertyOf, None):
+            if isinstance(triple.subject, IRI) and isinstance(triple.object, IRI):
+                ontology.add_subproperty(triple.subject, triple.object)
+        for triple in graph.triples(None, RDFS.domain, None):
+            if isinstance(triple.subject, IRI) and isinstance(triple.object, IRI):
+                ontology.add_domain(triple.subject, triple.object)
+        for triple in graph.triples(None, RDFS.range, None):
+            if isinstance(triple.subject, IRI) and isinstance(triple.object, IRI):
+                ontology.add_range(triple.subject, triple.object)
+        return ontology
+
+    # ------------------------------------------------------------------
+    # translation
+    # ------------------------------------------------------------------
+    def to_rules(self) -> Program:
+        """Translate the axioms to Datalog± rules over ``triple``."""
+        program = Program()
+        rdf_type = Const(RDF.type)
+        for index, axiom in enumerate(self.axioms):
+            x, y, z, d = Var("X"), Var("Y"), Var("Z"), Var("D")
+            label = f"ontology{index}:{axiom.kind}"
+            if axiom.kind == "subClassOf":
+                head = Atom(PRED_TRIPLE, (x, rdf_type, Const(axiom.object), d))
+                body = (Atom(PRED_TRIPLE, (x, rdf_type, Const(axiom.subject), d)),)
+                program.add_rule(Rule(head, body, label=label))
+            elif axiom.kind == "subPropertyOf":
+                head = Atom(PRED_TRIPLE, (x, Const(axiom.object), y, d))
+                body = (Atom(PRED_TRIPLE, (x, Const(axiom.subject), y, d)),)
+                program.add_rule(Rule(head, body, label=label))
+            elif axiom.kind == "domain":
+                head = Atom(PRED_TRIPLE, (x, rdf_type, Const(axiom.object), d))
+                body = (Atom(PRED_TRIPLE, (x, Const(axiom.subject), y, d)),)
+                program.add_rule(Rule(head, body, label=label))
+            elif axiom.kind == "range":
+                head = Atom(PRED_TRIPLE, (y, rdf_type, Const(axiom.object), d))
+                body = (Atom(PRED_TRIPLE, (x, Const(axiom.subject), y, d)),)
+                program.add_rule(Rule(head, body, label=label))
+            elif axiom.kind == "existential":
+                # ∃Z triple(X, via, Z, D) :- triple(X, rdf:type, subject, D).
+                # The fresh Z is a labelled null (a Skolem term over X).
+                body = (Atom(PRED_TRIPLE, (x, rdf_type, Const(axiom.subject), d)),)
+                head = Atom(PRED_TRIPLE, (x, Const(axiom.via), z, d))
+                program.add_rule(
+                    Rule(head, body, existential_variables=(z,), label=label)
+                )
+            else:
+                raise ValueError(f"unknown ontology axiom kind {axiom.kind!r}")
+        return program
+
+    def materialize(self, graph: Graph, max_rounds: int = 32) -> Graph:
+        """Forward-chain the non-existential axioms over a graph.
+
+        This is the materialisation strategy of the Stardog-like baseline:
+        the closure under subclass / subproperty / domain / range axioms is
+        computed up front and the query is then answered over the enlarged
+        graph.
+        """
+        result = graph.copy()
+        for _ in range(max_rounds):
+            additions = []
+            for axiom in self.axioms:
+                if axiom.kind == "subClassOf":
+                    for triple in result.triples(None, RDF.type, axiom.subject):
+                        candidate = (triple.subject, RDF.type, axiom.object)
+                        additions.append(candidate)
+                elif axiom.kind == "subPropertyOf":
+                    for triple in result.triples(None, axiom.subject, None):
+                        additions.append((triple.subject, axiom.object, triple.object))
+                elif axiom.kind == "domain":
+                    for triple in result.triples(None, axiom.subject, None):
+                        additions.append((triple.subject, RDF.type, axiom.object))
+                elif axiom.kind == "range":
+                    for triple in result.triples(None, axiom.subject, None):
+                        additions.append((triple.object, RDF.type, axiom.object))
+            new_count = 0
+            for subject, predicate, obj in additions:
+                from repro.rdf.terms import Triple
+
+                triple = Triple(subject, predicate, obj)
+                if triple not in result:
+                    result.add(triple)
+                    new_count += 1
+            if new_count == 0:
+                break
+        return result

@@ -1,0 +1,351 @@
+"""Property-path translation τ_PP (Figure 6 / Definitions A.12–A.20).
+
+Every property path expression is translated into rules for a predicate
+``pathN(Id, X, Y, D)`` holding the (start, end) pairs of the path in graph
+``D``.  Link, inverse, alternative, sequence and negated paths carry fresh
+Skolem tuple IDs under bag semantics; the zero-or-one, one-or-more and
+zero-or-more paths force the ID to the shared constant because the SPARQL
+standard prescribes set semantics for them (the ``Id = []`` body literal of
+the paper).
+
+Zero-length paths are produced for every term occurring as a subject or
+object of the active graph, and additionally for a bound endpoint of the
+top-level property path pattern even when that term does not occur in the
+graph — the case previous translations missed, which the paper fixes
+(Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.core.data_translation import (
+    PRED_NAMED,
+    PRED_SUBJECT_OR_OBJECT,
+    PRED_TRIPLE,
+)
+from repro.core.skolem import SET_ID, SkolemFunctionGenerator
+from repro.datalog.rules import Assignment, Atom, Comparison, Program, Rule
+from repro.datalog.terms import Const, Term as DatalogTerm, Var
+from repro.rdf.terms import Term as RdfTerm, Variable
+from repro.sparql.paths import (
+    AlternativePath,
+    InversePath,
+    LinkPath,
+    NegatedPropertySet,
+    OneOrMorePath,
+    PropertyPath,
+    SequencePath,
+    ZeroOrMorePath,
+    ZeroOrOnePath,
+    normalize_path,
+)
+
+
+class PathTranslator:
+    """Translate property path expressions into Datalog± rules."""
+
+    def __init__(self, skolem: SkolemFunctionGenerator, namer) -> None:
+        self._skolem = skolem
+        self._next_name = namer  # callable returning fresh predicate names
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def translate(
+        self,
+        path: PropertyPath,
+        distinct: bool,
+        subject: Union[RdfTerm, Variable],
+        obj: Union[RdfTerm, Variable],
+        graph_spec: DatalogTerm,
+        program: Program,
+    ) -> str:
+        """Translate ``path`` and return the name of its answer predicate."""
+        path = normalize_path(path)
+        return self._translate(path, distinct, subject, obj, graph_spec, program)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _head(
+        self, name: str, distinct: bool, id_var: Var, x: DatalogTerm, y: DatalogTerm,
+        graph_spec: DatalogTerm,
+    ) -> Atom:
+        if distinct:
+            return Atom(name, (x, y, graph_spec))
+        return Atom(name, (id_var, x, y, graph_spec))
+
+    def _child_atom(
+        self, name: str, distinct: bool, id_var: Var, x: DatalogTerm, y: DatalogTerm,
+        graph_spec: DatalogTerm,
+    ) -> Atom:
+        if distinct:
+            return Atom(name, (x, y, graph_spec))
+        return Atom(name, (id_var, x, y, graph_spec))
+
+    def _id_assignment(self, distinct: bool, id_var: Var, body_vars, label: str):
+        if distinct:
+            return None
+        return self._skolem.tuple_id_assignment(id_var, body_vars, label)
+
+    def _set_id_assignment(self, distinct: bool, id_var: Var):
+        if distinct:
+            return None
+        return SkolemFunctionGenerator.set_semantics_assignment(id_var)
+
+    @staticmethod
+    def _collect_vars(atoms: List[Atom]) -> List[Var]:
+        variables: List[Var] = []
+        for atom in atoms:
+            for argument in atom.arguments:
+                if isinstance(argument, Var) and argument not in variables:
+                    variables.append(argument)
+        return variables
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _translate(
+        self,
+        path: PropertyPath,
+        distinct: bool,
+        subject,
+        obj,
+        graph_spec: DatalogTerm,
+        program: Program,
+    ) -> str:
+        if isinstance(path, LinkPath):
+            return self._translate_link(path, distinct, graph_spec, program)
+        if isinstance(path, InversePath):
+            return self._translate_inverse(path, distinct, subject, obj, graph_spec, program)
+        if isinstance(path, AlternativePath):
+            return self._translate_alternative(path, distinct, subject, obj, graph_spec, program)
+        if isinstance(path, SequencePath):
+            return self._translate_sequence(path, distinct, subject, obj, graph_spec, program)
+        if isinstance(path, NegatedPropertySet):
+            return self._translate_negated(path, distinct, graph_spec, program)
+        if isinstance(path, OneOrMorePath):
+            return self._translate_one_or_more(path, distinct, subject, obj, graph_spec, program)
+        if isinstance(path, ZeroOrOnePath):
+            return self._translate_zero_or_one(path, distinct, subject, obj, graph_spec, program)
+        if isinstance(path, ZeroOrMorePath):
+            return self._translate_zero_or_more(path, distinct, subject, obj, graph_spec, program)
+        raise TypeError(f"unknown property path node {path!r}")
+
+    # ------------------------------------------------------------------
+    # base and structural cases
+    # ------------------------------------------------------------------
+    def _translate_link(
+        self, path: LinkPath, distinct: bool, graph_spec, program: Program
+    ) -> str:
+        name = self._next_name("path")
+        id_var, x, y = Var("Id"), Var("X"), Var("Y")
+        body: List = [Atom(PRED_TRIPLE, (x, Const(path.iri), y, graph_spec))]
+        assignment = self._id_assignment(distinct, id_var, [x, y], f"link:{path.iri.value}")
+        if assignment is not None:
+            body.append(assignment)
+        program.add_rule(
+            Rule(self._head(name, distinct, id_var, x, y, graph_spec), tuple(body), label=name)
+        )
+        return name
+
+    def _translate_inverse(
+        self, path: InversePath, distinct, subject, obj, graph_spec, program: Program
+    ) -> str:
+        child = self._translate(path.path, distinct, subject, obj, graph_spec, program)
+        name = self._next_name("path")
+        id_var, id1, x, y = Var("Id"), Var("Id1"), Var("X"), Var("Y")
+        body: List = [self._child_atom(child, distinct, id1, y, x, graph_spec)]
+        assignment = self._id_assignment(
+            distinct, id_var, self._collect_vars([body[0]]), "inverse"
+        )
+        if assignment is not None:
+            body.append(assignment)
+        program.add_rule(
+            Rule(self._head(name, distinct, id_var, x, y, graph_spec), tuple(body), label=name)
+        )
+        return name
+
+    def _translate_alternative(
+        self, path: AlternativePath, distinct, subject, obj, graph_spec, program: Program
+    ) -> str:
+        left = self._translate(path.left, distinct, subject, obj, graph_spec, program)
+        right = self._translate(path.right, distinct, subject, obj, graph_spec, program)
+        name = self._next_name("path")
+        for branch_index, child in enumerate((left, right)):
+            id_var, id1, x, y = Var("Id"), Var("Id1"), Var("X"), Var("Y")
+            body: List = [self._child_atom(child, distinct, id1, x, y, graph_spec)]
+            assignment = self._id_assignment(
+                distinct, id_var, self._collect_vars([body[0]]), f"alt{branch_index}"
+            )
+            if assignment is not None:
+                body.append(assignment)
+            program.add_rule(
+                Rule(self._head(name, distinct, id_var, x, y, graph_spec), tuple(body), label=name)
+            )
+        return name
+
+    def _translate_sequence(
+        self, path: SequencePath, distinct, subject, obj, graph_spec, program: Program
+    ) -> str:
+        left = self._translate(path.left, distinct, subject, obj, graph_spec, program)
+        right = self._translate(path.right, distinct, subject, obj, graph_spec, program)
+        name = self._next_name("path")
+        id_var, id1, id2 = Var("Id"), Var("Id1"), Var("Id2")
+        x, y, z = Var("X"), Var("Y"), Var("Z")
+        body: List = [
+            self._child_atom(left, distinct, id1, x, y, graph_spec),
+            self._child_atom(right, distinct, id2, y, z, graph_spec),
+        ]
+        assignment = self._id_assignment(
+            distinct, id_var, self._collect_vars(body), "sequence"
+        )
+        if assignment is not None:
+            body.append(assignment)
+        program.add_rule(
+            Rule(self._head(name, distinct, id_var, x, z, graph_spec), tuple(body), label=name)
+        )
+        return name
+
+    def _translate_negated(
+        self, path: NegatedPropertySet, distinct, graph_spec, program: Program
+    ) -> str:
+        name = self._next_name("path")
+        if path.forward or not path.inverse:
+            id_var, x, y, p = Var("Id"), Var("X"), Var("Y"), Var("P")
+            body: List = [Atom(PRED_TRIPLE, (x, p, y, graph_spec))]
+            for forbidden in path.forward:
+                body.append(Comparison("!=", p, Const(forbidden)))
+            assignment = self._id_assignment(distinct, id_var, [x, y, p], "negated-forward")
+            if assignment is not None:
+                body.append(assignment)
+            program.add_rule(
+                Rule(self._head(name, distinct, id_var, x, y, graph_spec), tuple(body), label=name)
+            )
+        if path.inverse:
+            id_var, x, y, p = Var("Id"), Var("X"), Var("Y"), Var("P")
+            body = [Atom(PRED_TRIPLE, (x, p, y, graph_spec))]
+            for forbidden in path.inverse:
+                body.append(Comparison("!=", p, Const(forbidden)))
+            assignment = self._id_assignment(distinct, id_var, [x, y, p], "negated-inverse")
+            if assignment is not None:
+                body.append(assignment)
+            program.add_rule(
+                Rule(self._head(name, distinct, id_var, y, x, graph_spec), tuple(body), label=name)
+            )
+        return name
+
+    # ------------------------------------------------------------------
+    # closure cases (always set semantics)
+    # ------------------------------------------------------------------
+    def _translate_one_or_more(
+        self, path: OneOrMorePath, distinct, subject, obj, graph_spec, program: Program
+    ) -> str:
+        child = self._translate(path.path, distinct, subject, obj, graph_spec, program)
+        name = self._next_name("path")
+        self._add_transitive_rules(name, child, distinct, graph_spec, program)
+        return name
+
+    def _translate_zero_or_one(
+        self, path: ZeroOrOnePath, distinct, subject, obj, graph_spec, program: Program
+    ) -> str:
+        child = self._translate(path.path, distinct, subject, obj, graph_spec, program)
+        name = self._next_name("path")
+        self._add_zero_rules(name, distinct, subject, obj, graph_spec, program)
+        # Single traversal, forced to the shared ID.
+        id_var, id1, x, y = Var("Id"), Var("Id1"), Var("X"), Var("Y")
+        body: List = [self._child_atom(child, distinct, id1, x, y, graph_spec)]
+        assignment = self._set_id_assignment(distinct, id_var)
+        if assignment is not None:
+            body.append(assignment)
+        program.add_rule(
+            Rule(self._head(name, distinct, id_var, x, y, graph_spec), tuple(body), label=name)
+        )
+        return name
+
+    def _translate_zero_or_more(
+        self, path: ZeroOrMorePath, distinct, subject, obj, graph_spec, program: Program
+    ) -> str:
+        child = self._translate(path.path, distinct, subject, obj, graph_spec, program)
+        name = self._next_name("path")
+        self._add_zero_rules(name, distinct, subject, obj, graph_spec, program)
+        self._add_transitive_rules(name, child, distinct, graph_spec, program)
+        return name
+
+    def _add_transitive_rules(
+        self, name: str, child: str, distinct: bool, graph_spec, program: Program
+    ) -> None:
+        """Base and recursive rules of the transitive closure (Definition A.16)."""
+        id_var, id1, x, y = Var("Id"), Var("Id1"), Var("X"), Var("Y")
+        body: List = [self._child_atom(child, distinct, id1, x, y, graph_spec)]
+        assignment = self._set_id_assignment(distinct, id_var)
+        if assignment is not None:
+            body.append(assignment)
+        program.add_rule(
+            Rule(self._head(name, distinct, id_var, x, y, graph_spec), tuple(body), label=name)
+        )
+
+        id_var, id1, id2 = Var("Id"), Var("Id1"), Var("Id2")
+        x, y, z = Var("X"), Var("Y"), Var("Z")
+        body = [
+            self._child_atom(child, distinct, id1, x, y, graph_spec),
+            self._child_atom(name, distinct, id2, y, z, graph_spec),
+        ]
+        assignment = self._set_id_assignment(distinct, id_var)
+        if assignment is not None:
+            body.append(assignment)
+        program.add_rule(
+            Rule(self._head(name, distinct, id_var, x, z, graph_spec), tuple(body), label=name)
+        )
+
+    def _add_zero_rules(
+        self, name: str, distinct: bool, subject, obj, graph_spec, program: Program
+    ) -> None:
+        """Zero-length path rules (Definitions A.17–A.19)."""
+        id_var, x = Var("Id"), Var("X")
+        body: List = [Atom(PRED_SUBJECT_OR_OBJECT, (x, graph_spec))]
+        assignment = self._set_id_assignment(distinct, id_var)
+        if assignment is not None:
+            body.append(assignment)
+        program.add_rule(
+            Rule(self._head(name, distinct, id_var, x, x, graph_spec), tuple(body), label=name)
+        )
+
+        # Zero-length path for a bound endpoint, even when the term does not
+        # occur in the graph (the correction over earlier translations).
+        endpoint = self._bound_endpoint(subject, obj)
+        if endpoint is None:
+            return
+        constant = Const(endpoint)
+        if isinstance(graph_spec, Const):
+            if distinct:
+                program.add_fact(Atom(name, (constant, constant, graph_spec)))
+            else:
+                program.add_fact(Atom(name, (SET_ID, constant, constant, graph_spec)))
+        else:
+            # Inside GRAPH ?g the rule must range over the named graphs.
+            body = [Atom(PRED_NAMED, (graph_spec,))]
+            assignment = self._set_id_assignment(distinct, id_var)
+            if assignment is not None:
+                body.append(assignment)
+            program.add_rule(
+                Rule(
+                    self._head(name, distinct, id_var, constant, constant, graph_spec),
+                    tuple(body),
+                    label=name,
+                )
+            )
+
+    @staticmethod
+    def _bound_endpoint(subject, obj) -> Optional[RdfTerm]:
+        """Return the endpoint term needing an extra zero-length pair, if any."""
+        subject_is_var = isinstance(subject, Variable)
+        object_is_var = isinstance(obj, Variable)
+        if not subject_is_var and object_is_var:
+            return subject
+        if subject_is_var and not object_is_var:
+            return obj
+        if not subject_is_var and not object_is_var and subject == obj:
+            return subject
+        return None

@@ -1,0 +1,59 @@
+"""Skolem function generation for the duplicate-preservation model.
+
+Appendix C of the paper describes how SparqLog preserves SPARQL bag
+semantics inside the set-semantics Datalog± engine: every rule that may
+produce duplicates assigns a *tuple ID* to its head, computed by a Skolem
+function over (a) a rule identifier and (b) the list of variables bound by
+the positive body atoms.  Two derivations of the same tuple through
+different groundings therefore receive different IDs and survive as
+distinguishable duplicates, while the provenance stays inspectable.
+
+The zero-or-one / zero-or-more / one-or-more property paths instead force
+the ID to a fixed constant (the empty list in the paper, ``SET_ID`` here)
+because the SPARQL standard mandates set semantics for them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.datalog.rules import Assignment, SkolemExpr
+from repro.datalog.terms import Const, Var
+
+#: The constant tuple ID shared by all set-semantics derivations
+#: (the ``Id = []`` literal of the paper).
+SET_ID = Const("[]")
+
+
+class SkolemFunctionGenerator:
+    """Factory of tuple-ID assignments (``ID = ["f<rule>", vars..., label]``)."""
+
+    def __init__(self) -> None:
+        self._rule_counter = 0
+
+    def next_rule_id(self) -> int:
+        """Return a fresh rule identifier."""
+        self._rule_counter += 1
+        return self._rule_counter
+
+    def tuple_id_assignment(
+        self,
+        id_variable: Var,
+        body_variables: Iterable[Var],
+        label: str = "",
+    ) -> Assignment:
+        """Build the assignment that computes a fresh tuple ID.
+
+        ``body_variables`` should be the variables occurring in positive
+        body atoms of the rule (the paper's ``bodyVars``); they are sorted
+        by name so the ID is independent of atom order.
+        """
+        rule_id = self.next_rule_id()
+        sorted_variables: List[Var] = sorted(set(body_variables), key=lambda v: v.name)
+        functor = f"f{rule_id}" + (f":{label}" if label else "")
+        return Assignment(id_variable, SkolemExpr(functor, tuple(sorted_variables)))
+
+    @staticmethod
+    def set_semantics_assignment(id_variable: Var) -> Assignment:
+        """Force the tuple ID to the shared constant (set semantics)."""
+        return Assignment(id_variable, SET_ID)

@@ -1,0 +1,136 @@
+"""Solution translation T_S: Datalog± answers → SPARQL solution sequences.
+
+The Datalog engine returns the extension of the answer predicate as a set
+of ground tuples.  The solution translation drops the tuple-ID column
+(whose only purpose is duplicate preservation), maps the ``"null"``
+constant back to an unbound variable, converts labelled nulls (Skolem
+terms produced by existential ontology rules) to blank nodes, and applies
+the solution modifiers recorded as ``@post`` directives: ORDER BY,
+DISTINCT, LIMIT and OFFSET.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.query_translation import TranslationResult
+from repro.datalog.terms import SkolemTerm
+from repro.rdf.terms import BlankNode, Literal, Term as RdfTerm, Variable, term_sort_key
+from repro.sparql.algebra import AskQuery, OrderCondition, SelectQuery
+from repro.sparql.expressions import evaluate as evaluate_expression
+from repro.sparql.functions import ExpressionError
+from repro.sparql.solutions import Binding, SolutionSequence
+
+
+class SolutionTranslator:
+    """Convert Datalog answer relations into SPARQL results."""
+
+    def translate(
+        self,
+        relations: Dict[str, Set[Tuple]],
+        translation: TranslationResult,
+    ) -> Union[SolutionSequence, bool]:
+        """Translate the answer relation according to the query form."""
+        rows = relations.get(translation.answer_predicate, set())
+        if translation.form == "ASK":
+            return self._translate_ask(rows)
+        return self._translate_select(rows, translation)
+
+    # ------------------------------------------------------------------
+    # ASK
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _translate_ask(rows: Iterable[Tuple]) -> bool:
+        for row in rows:
+            value = row[0]
+            if isinstance(value, Literal) and value.lexical == "true":
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def _translate_select(
+        self, rows: Iterable[Tuple], translation: TranslationResult
+    ) -> SolutionSequence:
+        query = translation.query
+        assert isinstance(query, SelectQuery)
+        offset = 1 if translation.has_id_column else 0
+        variables = translation.answer_variables
+        bindings: List[Binding] = []
+        for row in rows:
+            mapping: Dict[Variable, RdfTerm] = {}
+            for position, variable in enumerate(variables):
+                value = row[offset + position]
+                term = self._to_rdf_term(value)
+                if term is not None:
+                    mapping[variable] = term
+            bindings.append(Binding(mapping))
+
+        if query.order_by:
+            bindings = self._order(bindings, query.order_by)
+        if query.distinct or query.reduced:
+            seen = set()
+            unique: List[Binding] = []
+            for binding in bindings:
+                if binding not in seen:
+                    seen.add(binding)
+                    unique.append(binding)
+            bindings = unique
+        if query.offset:
+            bindings = bindings[query.offset:]
+        if query.limit is not None:
+            bindings = bindings[: query.limit]
+
+        output_variables = query.projected_variables()
+        return SolutionSequence(output_variables, bindings)
+
+    @staticmethod
+    def _to_rdf_term(value: object) -> Optional[RdfTerm]:
+        """Convert a Datalog ground value back to an RDF term (or None)."""
+        if isinstance(value, RdfTerm):
+            return value
+        if isinstance(value, SkolemTerm):
+            # Labelled nulls from existential rules behave like blank nodes.
+            return BlankNode(f"null{abs(hash(value)) % 10_000_000}")
+        if value == "null" or value is None:
+            return None
+        if isinstance(value, str):
+            return Literal(value)
+        if isinstance(value, (int, float, bool)):
+            return Literal.from_python(value)
+        return None
+
+    @staticmethod
+    def _order(
+        bindings: List[Binding], conditions: Sequence[OrderCondition]
+    ) -> List[Binding]:
+        """Sort the rows by the ORDER BY keys (unbound values sort first)."""
+
+        def sort_key(binding: Binding):
+            key = []
+            for condition in conditions:
+                try:
+                    value = evaluate_expression(condition.expression, binding)
+                    part = term_sort_key(value)
+                except ExpressionError:
+                    part = (0, "")
+                key.append(part if condition.ascending else _ReverseKey(part))
+            return key
+
+        return sorted(bindings, key=sort_key)
+
+
+class _ReverseKey:
+    """Inverts comparisons so DESC keys sort descending."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_ReverseKey") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ReverseKey) and other.value == self.value

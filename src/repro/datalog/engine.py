@@ -1,0 +1,554 @@
+"""Bottom-up semi-naive evaluation of Datalog± programs.
+
+The engine materialises the extension of every predicate, stratum by
+stratum.  Within a stratum, recursion is evaluated with the semi-naive
+(delta) technique; negated atoms, comparisons, assignments and embedded
+filter conditions are evaluated as soon as their variables are bound.
+
+Existential head variables are instantiated with Skolem terms over the
+frontier variables, which is exactly the abstraction the paper adopts for
+its duplicate-preservation model (labelled nulls represented as Skolem
+terms, Appendix C).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog.rules import (
+    AggregateRule,
+    Assignment,
+    Atom,
+    BodyElement,
+    Comparison,
+    FilterCondition,
+    Negation,
+    Program,
+    Rule,
+    SkolemExpr,
+)
+from repro.datalog.stratify import stratify
+from repro.datalog.terms import Const, SkolemTerm, Term, Var
+from repro.rdf.terms import Literal, Term as RdfTerm
+from repro.sparql.functions import ExpressionError, term_compare
+from repro.sparql.solutions import Binding
+
+
+class EvaluationLimitExceeded(RuntimeError):
+    """Raised when the fact limit or the wall-clock timeout is exceeded."""
+
+
+GroundTuple = Tuple[object, ...]
+Substitution = Dict[Var, object]
+
+
+class Relation:
+    """The extension of one predicate: a set of ground tuples plus indexes."""
+
+    __slots__ = ("tuples", "_indexes")
+
+    def __init__(self) -> None:
+        self.tuples: Set[GroundTuple] = set()
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple, List[GroundTuple]]] = {}
+
+    def add(self, row: GroundTuple) -> bool:
+        """Insert a row; returns True when the row is new."""
+        if row in self.tuples:
+            return False
+        self.tuples.add(row)
+        for positions, index in self._indexes.items():
+            key = tuple(row[position] for position in positions)
+            index.setdefault(key, []).append(row)
+        return True
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[GroundTuple]:
+        return iter(self.tuples)
+
+    def index(self, positions: Tuple[int, ...]) -> Dict[Tuple, List[GroundTuple]]:
+        """Return (building lazily) a hash index on the given positions."""
+        existing = self._indexes.get(positions)
+        if existing is not None:
+            return existing
+        index: Dict[Tuple, List[GroundTuple]] = defaultdict(list)
+        for row in self.tuples:
+            key = tuple(row[position] for position in positions)
+            index[key].append(row)
+        self._indexes[positions] = index
+        return index
+
+    def lookup(self, bound: Dict[int, object]) -> Iterable[GroundTuple]:
+        """Return candidate rows matching the bound positions."""
+        if not bound:
+            return self.tuples
+        positions = tuple(sorted(bound))
+        index = self.index(positions)
+        key = tuple(bound[position] for position in positions)
+        return index.get(key, [])
+
+
+class DatalogEngine:
+    """Evaluator producing the full materialisation of a program."""
+
+    def __init__(
+        self,
+        max_facts: int = 5_000_000,
+        timeout_seconds: Optional[float] = None,
+    ) -> None:
+        self.max_facts = max_facts
+        self.timeout_seconds = timeout_seconds
+        self._deadline: Optional[float] = None
+        self._fact_count = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def evaluate(self, program: Program) -> Dict[str, Set[GroundTuple]]:
+        """Evaluate the program and return predicate -> set of ground tuples."""
+        self._deadline = (
+            time.monotonic() + self.timeout_seconds if self.timeout_seconds else None
+        )
+        self._fact_count = 0
+        relations: Dict[str, Relation] = defaultdict(Relation)
+        for fact in program.facts:
+            values = tuple(self._ground_value(argument) for argument in fact.arguments)
+            if relations[fact.predicate].add(values):
+                self._count_fact()
+
+        strata = stratify(program)
+        rules_by_head: Dict[str, List[Rule]] = defaultdict(list)
+        for rule in program.rules:
+            rules_by_head[rule.head.predicate].append(rule)
+        aggregates_by_head: Dict[str, List[AggregateRule]] = defaultdict(list)
+        for aggregate_rule in program.aggregate_rules:
+            aggregates_by_head[aggregate_rule.head.predicate].append(aggregate_rule)
+
+        for stratum in strata:
+            # Aggregate rules first: their bodies live strictly below.
+            for predicate in sorted(stratum):
+                for aggregate_rule in aggregates_by_head.get(predicate, []):
+                    self._evaluate_aggregate_rule(aggregate_rule, relations)
+            stratum_rules = [
+                rule
+                for predicate in stratum
+                for rule in rules_by_head.get(predicate, [])
+            ]
+            if stratum_rules:
+                self._fixpoint(stratum_rules, stratum, relations)
+        return {predicate: relation.tuples for predicate, relation in relations.items()}
+
+    # ------------------------------------------------------------------
+    # fixpoint computation
+    # ------------------------------------------------------------------
+    def _fixpoint(
+        self,
+        rules: Sequence[Rule],
+        stratum: Set[str],
+        relations: Dict[str, Relation],
+    ) -> None:
+        ordered_bodies = {id(rule): self._order_body(rule) for rule in rules}
+        deltas: Dict[str, Set[GroundTuple]] = defaultdict(set)
+
+        # Initial round: evaluate every rule against the full relations.
+        for rule in rules:
+            for row in self._evaluate_rule(rule, ordered_bodies[id(rule)], relations):
+                if relations[rule.head.predicate].add(row):
+                    self._count_fact()
+                    deltas[rule.head.predicate].add(row)
+
+        recursive_rules = [
+            rule for rule in rules if rule.body_predicates() & stratum
+        ]
+        while any(deltas.values()):
+            self._check_limits()
+            new_deltas: Dict[str, Set[GroundTuple]] = defaultdict(set)
+            for rule in recursive_rules:
+                body = ordered_bodies[id(rule)]
+                delta_positions = [
+                    index
+                    for index, element in enumerate(body)
+                    if isinstance(element, Atom)
+                    and element.predicate in stratum
+                    and deltas.get(element.predicate)
+                ]
+                for delta_position in delta_positions:
+                    for row in self._evaluate_rule(
+                        rule, body, relations, delta_position, deltas
+                    ):
+                        if relations[rule.head.predicate].add(row):
+                            self._count_fact()
+                            new_deltas[rule.head.predicate].add(row)
+            deltas = new_deltas
+
+    def _order_body(self, rule: Rule) -> List[BodyElement]:
+        """Greedy sideways-information-passing order for body evaluation.
+
+        Positive atoms are taken in source order; negations, comparisons,
+        assignments and filters are scheduled as soon as their input
+        variables are bound.
+        """
+        pending = list(rule.body)
+        ordered: List[BodyElement] = []
+        bound: Set[Var] = set()
+        while pending:
+            progressed = False
+            for element in list(pending):
+                if isinstance(element, Atom):
+                    ordered.append(element)
+                    bound |= element.variables()
+                    pending.remove(element)
+                    progressed = True
+                    break
+                required: Set[Var]
+                if isinstance(element, Negation):
+                    required = element.variables()
+                elif isinstance(element, Comparison):
+                    required = element.variables()
+                elif isinstance(element, Assignment):
+                    required = element.input_variables()
+                elif isinstance(element, FilterCondition):
+                    required = element.variables()
+                else:  # pragma: no cover - defensive
+                    required = set()
+                if required <= bound:
+                    ordered.append(element)
+                    if isinstance(element, Assignment):
+                        bound.add(element.variable)
+                    pending.remove(element)
+                    progressed = True
+                    break
+            if not progressed:
+                # Schedule remaining non-atom elements anyway (they will be
+                # evaluated with whatever bindings exist; unbound comparisons
+                # fail, matching safe-rule expectations).
+                ordered.extend(pending)
+                break
+        return ordered
+
+    def _evaluate_rule(
+        self,
+        rule: Rule,
+        body: Sequence[BodyElement],
+        relations: Dict[str, Relation],
+        delta_position: Optional[int] = None,
+        deltas: Optional[Dict[str, Set[GroundTuple]]] = None,
+    ) -> Iterator[GroundTuple]:
+        substitutions: Iterable[Substitution] = [dict()]
+        for index, element in enumerate(body):
+            use_delta = delta_position is not None and index == delta_position
+            substitutions = self._apply_element(
+                element, substitutions, relations, use_delta, deltas
+            )
+        for substitution in substitutions:
+            yield self._instantiate_head(rule, substitution)
+
+    def _apply_element(
+        self,
+        element: BodyElement,
+        substitutions: Iterable[Substitution],
+        relations: Dict[str, Relation],
+        use_delta: bool,
+        deltas: Optional[Dict[str, Set[GroundTuple]]],
+    ) -> Iterator[Substitution]:
+        if isinstance(element, Atom):
+            yield from self._match_atom(element, substitutions, relations, use_delta, deltas)
+            return
+        if isinstance(element, Negation):
+            for substitution in substitutions:
+                if not self._atom_holds(element.atom, substitution, relations):
+                    yield substitution
+            return
+        if isinstance(element, Comparison):
+            for substitution in substitutions:
+                if self._comparison_holds(element, substitution):
+                    yield substitution
+            return
+        if isinstance(element, Assignment):
+            for substitution in substitutions:
+                value = self._evaluate_assignment(element, substitution)
+                existing = substitution.get(element.variable)
+                if existing is None:
+                    extended = dict(substitution)
+                    extended[element.variable] = value
+                    yield extended
+                elif existing == value:
+                    yield substitution
+            return
+        if isinstance(element, FilterCondition):
+            for substitution in substitutions:
+                if self._filter_holds(element, substitution):
+                    yield substitution
+            return
+        raise TypeError(f"unsupported body element {element!r}")
+
+    def _match_atom(
+        self,
+        atom: Atom,
+        substitutions: Iterable[Substitution],
+        relations: Dict[str, Relation],
+        use_delta: bool,
+        deltas: Optional[Dict[str, Set[GroundTuple]]],
+    ) -> Iterator[Substitution]:
+        relation = relations.get(atom.predicate)
+        delta_rows = deltas.get(atom.predicate, set()) if (use_delta and deltas) else None
+        if relation is None and delta_rows is None:
+            return
+        for substitution in substitutions:
+            self._check_limits()
+            bound_positions: Dict[int, object] = {}
+            for position, argument in enumerate(atom.arguments):
+                if isinstance(argument, Var):
+                    value = substitution.get(argument)
+                    if value is not None:
+                        bound_positions[position] = value
+                else:
+                    bound_positions[position] = self._ground_value(argument)
+            if use_delta and delta_rows is not None:
+                candidates: Iterable[GroundTuple] = delta_rows
+            elif relation is not None:
+                candidates = relation.lookup(bound_positions)
+            else:
+                candidates = ()
+            for row in candidates:
+                extended = self._unify(atom, row, substitution, bound_positions)
+                if extended is not None:
+                    yield extended
+
+    def _unify(
+        self,
+        atom: Atom,
+        row: GroundTuple,
+        substitution: Substitution,
+        bound_positions: Dict[int, object],
+    ) -> Optional[Substitution]:
+        for position, value in bound_positions.items():
+            if row[position] != value:
+                return None
+        extended = dict(substitution)
+        for position, argument in enumerate(atom.arguments):
+            if isinstance(argument, Var):
+                existing = extended.get(argument)
+                if existing is None:
+                    extended[argument] = row[position]
+                elif existing != row[position]:
+                    return None
+        return extended
+
+    def _atom_holds(
+        self, atom: Atom, substitution: Substitution, relations: Dict[str, Relation]
+    ) -> bool:
+        relation = relations.get(atom.predicate)
+        if relation is None:
+            return False
+        bound: Dict[int, object] = {}
+        for position, argument in enumerate(atom.arguments):
+            if isinstance(argument, Var):
+                value = substitution.get(argument)
+                if value is None:
+                    # Unbound variable under negation: existential check.
+                    continue
+                bound[position] = value
+            else:
+                bound[position] = self._ground_value(argument)
+        for _ in relation.lookup(bound):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # built-ins
+    # ------------------------------------------------------------------
+    def _comparison_holds(self, comparison: Comparison, substitution: Substitution) -> bool:
+        left = self._resolve(comparison.left, substitution)
+        right = self._resolve(comparison.right, substitution)
+        if left is None or right is None:
+            return False
+        return compare_values(comparison.operator, left, right)
+
+    def _evaluate_assignment(self, assignment: Assignment, substitution: Substitution):
+        expression = assignment.expression
+        if isinstance(expression, SkolemExpr):
+            values = tuple(
+                self._resolve(argument, substitution) for argument in expression.arguments
+            )
+            return SkolemTerm(expression.functor, values)
+        return self._resolve(expression, substitution)
+
+    def _filter_holds(self, condition: FilterCondition, substitution: Substitution) -> bool:
+        from repro.sparql.expressions import satisfies
+
+        mapping = {}
+        for sparql_variable, datalog_variable in condition.variable_map:
+            value = substitution.get(datalog_variable)
+            if isinstance(value, RdfTerm):
+                mapping[sparql_variable] = value
+        return satisfies(condition.expression, Binding(mapping))
+
+    def _resolve(self, term: Term, substitution: Substitution):
+        if isinstance(term, Var):
+            return substitution.get(term)
+        return self._ground_value(term)
+
+    @staticmethod
+    def _ground_value(term):
+        if isinstance(term, Const):
+            return term.value
+        return term
+
+    # ------------------------------------------------------------------
+    # head instantiation
+    # ------------------------------------------------------------------
+    def _instantiate_head(self, rule: Rule, substitution: Substitution) -> GroundTuple:
+        existential = set(rule.existential_variables)
+        values: List[object] = []
+        frontier = tuple(
+            substitution[variable]
+            for variable in sorted(rule.frontier_variables(), key=lambda v: v.name)
+            if variable in substitution
+        )
+        for argument in rule.head.arguments:
+            if isinstance(argument, Var):
+                if argument in substitution:
+                    values.append(substitution[argument])
+                elif argument in existential:
+                    values.append(
+                        SkolemTerm(f"∃{rule.label or rule.head.predicate}:{argument.name}", frontier)
+                    )
+                else:
+                    raise ValueError(
+                        f"unbound head variable {argument!r} in rule {rule!r}"
+                    )
+            else:
+                values.append(self._ground_value(argument))
+        return tuple(values)
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def _evaluate_aggregate_rule(
+        self, aggregate_rule: AggregateRule, relations: Dict[str, Relation]
+    ) -> None:
+        body = self._order_body(
+            Rule(aggregate_rule.head, aggregate_rule.body, label=aggregate_rule.label)
+        )
+        substitutions: Iterable[Substitution] = [dict()]
+        for element in body:
+            substitutions = self._apply_element(element, substitutions, relations, False, None)
+        groups: Dict[Tuple, List[Substitution]] = defaultdict(list)
+        for substitution in substitutions:
+            key = tuple(substitution.get(variable) for variable in aggregate_rule.group_variables)
+            groups[key].append(substitution)
+        for key, members in groups.items():
+            values_by_target: Dict[Var, object] = {}
+            for spec in aggregate_rule.aggregates:
+                values_by_target[spec.target] = _aggregate(spec, members)
+            row: List[object] = []
+            for argument in aggregate_rule.head.arguments:
+                if isinstance(argument, Var):
+                    if argument in aggregate_rule.group_variables:
+                        index = aggregate_rule.group_variables.index(argument)
+                        row.append(key[index])
+                    elif argument in values_by_target:
+                        row.append(values_by_target[argument])
+                    else:
+                        row.append(members[0].get(argument))
+                else:
+                    row.append(self._ground_value(argument))
+            if relations[aggregate_rule.head.predicate].add(tuple(row)):
+                self._count_fact()
+
+    # ------------------------------------------------------------------
+    # limits
+    # ------------------------------------------------------------------
+    def _count_fact(self) -> None:
+        self._fact_count += 1
+        if self._fact_count > self.max_facts:
+            raise EvaluationLimitExceeded(
+                f"derived more than {self.max_facts} facts"
+            )
+        if self._fact_count % 4096 == 0:
+            self._check_limits()
+
+    def _check_limits(self) -> None:
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise EvaluationLimitExceeded("evaluation timeout exceeded")
+
+
+def compare_values(operator: str, left: object, right: object) -> bool:
+    """Compare two ground Datalog values with SPARQL-aware semantics."""
+    if isinstance(left, RdfTerm) and isinstance(right, RdfTerm):
+        try:
+            return term_compare(operator, left, right)
+        except ExpressionError:
+            return False
+    if operator == "=":
+        return left == right
+    if operator == "!=":
+        return left != right
+    try:
+        if operator == "<":
+            return left < right
+        if operator == "<=":
+            return left <= right
+        if operator == ">":
+            return left > right
+        if operator == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise ValueError(f"unknown comparison operator {operator!r}")
+
+
+def _aggregate(spec, members: List[Substitution]):
+    """Compute one aggregate value over the substitutions of a group."""
+    operation = spec.operation.upper()
+    if spec.argument is None:
+        raw_values: List[object] = [1] * len(members)
+    else:
+        raw_values = [member.get(spec.argument) for member in members]
+        raw_values = [value for value in raw_values if value is not None]
+    if spec.distinct:
+        seen = set()
+        unique = []
+        for value in raw_values:
+            if value not in seen:
+                seen.add(value)
+                unique.append(value)
+        raw_values = unique
+    if operation == "COUNT":
+        return Literal.from_python(len(raw_values))
+
+    numeric: List[float] = []
+    comparable: List[object] = []
+    for value in raw_values:
+        if isinstance(value, Literal):
+            as_python = value.as_python()
+            if isinstance(as_python, (int, float)) and not isinstance(as_python, bool):
+                numeric.append(as_python)
+            comparable.append(value)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            numeric.append(value)
+            comparable.append(value)
+        else:
+            comparable.append(value)
+    if operation in ("MIN", "MAX"):
+        if not comparable:
+            return None
+        from repro.rdf.terms import term_sort_key
+
+        ordered = sorted(
+            comparable,
+            key=lambda value: term_sort_key(value) if isinstance(value, RdfTerm) else (0, str(value)),
+        )
+        return ordered[0] if operation == "MIN" else ordered[-1]
+    if not numeric:
+        return None
+    if operation == "SUM":
+        total = sum(numeric)
+        return Literal.from_python(int(total) if float(total).is_integer() else total)
+    if operation == "AVG":
+        return Literal.from_python(sum(numeric) / len(numeric))
+    raise ValueError(f"unsupported aggregate operation {operation!r}")

@@ -1,0 +1,113 @@
+"""Stratification of Datalog programs with negation and aggregation.
+
+A program is stratifiable when no predicate depends on itself through
+negation (or through an aggregate).  The stratification assigns every
+predicate to a stratum such that positive dependencies stay within or
+below the stratum and negative/aggregate dependencies point strictly
+below.  Evaluation then proceeds stratum by stratum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from repro.datalog.rules import AggregateRule, Negation, Program, Rule
+
+
+class StratificationError(ValueError):
+    """Raised when a program uses negation/aggregation through recursion."""
+
+
+def dependency_graph(program: Program) -> nx.DiGraph:
+    """Build the predicate dependency graph.
+
+    Edges go from a body predicate to the head predicate.  Edges that stem
+    from negated body atoms or from aggregate rules are marked with
+    ``negative=True``.
+    """
+    graph = nx.DiGraph()
+    for predicate in program.predicates():
+        graph.add_node(predicate)
+    for rule in program.rules:
+        head = rule.head.predicate
+        for element in rule.body:
+            if isinstance(element, Negation):
+                _add_edge(graph, element.atom.predicate, head, negative=True)
+            elif hasattr(element, "predicate"):
+                _add_edge(graph, element.predicate, head, negative=False)
+    for aggregate_rule in program.aggregate_rules:
+        head = aggregate_rule.head.predicate
+        for predicate in aggregate_rule.body_predicates():
+            _add_edge(graph, predicate, head, negative=True)
+    return graph
+
+
+def _add_edge(graph: nx.DiGraph, source: str, target: str, negative: bool) -> None:
+    if graph.has_edge(source, target):
+        if negative:
+            graph[source][target]["negative"] = True
+    else:
+        graph.add_edge(source, target, negative=negative)
+
+
+def stratify(program: Program) -> List[Set[str]]:
+    """Compute a stratification of the program's predicates.
+
+    Returns a list of predicate sets, lowest stratum first.  Raises
+    :class:`StratificationError` when a negative edge occurs inside a
+    strongly connected component (negation through recursion).
+    """
+    graph = dependency_graph(program)
+    condensation = nx.condensation(graph)
+    # Check: no negative edge within a strongly connected component.
+    for component in nx.strongly_connected_components(graph):
+        for source in component:
+            for target in graph.successors(source):
+                if target in component and graph[source][target].get("negative"):
+                    raise StratificationError(
+                        f"negation through recursion between {source!r} and {target!r}"
+                    )
+
+    # Assign stratum numbers: longest chain of negative edges below a node.
+    component_of: Dict[str, int] = {}
+    for component_id, data in condensation.nodes(data=True):
+        for predicate in data["members"]:
+            component_of[predicate] = component_id
+
+    stratum_of_component: Dict[int, int] = {}
+    for component_id in nx.topological_sort(condensation):
+        stratum = 0
+        members = condensation.nodes[component_id]["members"]
+        for predecessor_id in condensation.predecessors(component_id):
+            predecessor_members = condensation.nodes[predecessor_id]["members"]
+            negative = any(
+                graph[source][target].get("negative")
+                for source in predecessor_members
+                for target in members
+                if graph.has_edge(source, target)
+            )
+            candidate = stratum_of_component[predecessor_id] + (1 if negative else 0)
+            stratum = max(stratum, candidate)
+        stratum_of_component[component_id] = stratum
+
+    max_stratum = max(stratum_of_component.values(), default=0)
+    strata: List[Set[str]] = [set() for _ in range(max_stratum + 1)]
+    for predicate, component_id in component_of.items():
+        strata[stratum_of_component[component_id]].add(predicate)
+    return strata
+
+
+def recursive_predicates(program: Program) -> Set[str]:
+    """Return the predicates involved in a dependency cycle."""
+    graph = dependency_graph(program)
+    recursive: Set[str] = set()
+    for component in nx.strongly_connected_components(graph):
+        if len(component) > 1:
+            recursive |= component
+        else:
+            (predicate,) = component
+            if graph.has_edge(predicate, predicate):
+                recursive.add(predicate)
+    return recursive

@@ -1,0 +1,156 @@
+"""Wardedness analysis for Datalog± programs.
+
+Warded Datalog± (Arenas, Gottlob, Pieris 2018) restricts how labelled
+nulls introduced by existential rule heads can propagate:
+
+* a *position* ``p[i]`` is **affected** when the chase may place a null
+  there — i.e. it carries an existential variable in some rule head, or a
+  head variable whose body occurrences are all at affected positions;
+* a variable is **dangerous** in a rule when it occurs in the head and all
+  of its body occurrences are at affected positions;
+* the program is **warded** when, in every rule, either there is no
+  dangerous variable, or all dangerous variables occur in one body atom
+  (the *ward*) and every variable shared between the ward and the rest of
+  the body occurs somewhere at a non-affected position.
+
+The SparqLog translation produces programs that are warded by
+construction (Section 2.2 / 3.2 of the paper); the analysis below lets the
+test suite verify that property for every generated program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.datalog.rules import Atom, Negation, Program, Rule
+from repro.datalog.terms import Var
+
+Position = Tuple[str, int]
+
+
+@dataclass
+class WardednessReport:
+    """Result of the wardedness analysis."""
+
+    warded: bool
+    affected_positions: Set[Position] = field(default_factory=set)
+    violations: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.warded
+
+
+def _body_atoms(rule: Rule) -> List[Atom]:
+    atoms: List[Atom] = []
+    for element in rule.body:
+        if isinstance(element, Atom):
+            atoms.append(element)
+        elif isinstance(element, Negation):
+            atoms.append(element.atom)
+    return atoms
+
+
+def affected_positions(program: Program) -> Set[Position]:
+    """Compute the set of affected positions by fixpoint iteration."""
+    affected: Set[Position] = set()
+    # Base case: positions of existential head variables.
+    for rule in program.rules:
+        existential = set(rule.existential_variables)
+        for index, argument in enumerate(rule.head.arguments):
+            if isinstance(argument, Var) and argument in existential:
+                affected.add((rule.head.predicate, index))
+
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            body_atoms = _body_atoms(rule)
+            # Positions at which each body variable occurs.
+            occurrences: Dict[Var, List[Position]] = {}
+            for atom in body_atoms:
+                for index, argument in enumerate(atom.arguments):
+                    if isinstance(argument, Var):
+                        occurrences.setdefault(argument, []).append(
+                            (atom.predicate, index)
+                        )
+            for index, argument in enumerate(rule.head.arguments):
+                if not isinstance(argument, Var):
+                    continue
+                if argument in set(rule.existential_variables):
+                    continue
+                positions = occurrences.get(argument)
+                if not positions:
+                    continue
+                if all(position in affected for position in positions):
+                    position = (rule.head.predicate, index)
+                    if position not in affected:
+                        affected.add(position)
+                        changed = True
+    return affected
+
+
+def dangerous_variables(rule: Rule, affected: Set[Position]) -> Set[Var]:
+    """Return the dangerous variables of a rule w.r.t. affected positions."""
+    body_atoms = _body_atoms(rule)
+    occurrences: Dict[Var, List[Position]] = {}
+    for atom in body_atoms:
+        for index, argument in enumerate(atom.arguments):
+            if isinstance(argument, Var):
+                occurrences.setdefault(argument, []).append((atom.predicate, index))
+    dangerous: Set[Var] = set()
+    for variable in rule.head.variables():
+        if variable in set(rule.existential_variables):
+            continue
+        positions = occurrences.get(variable)
+        if positions and all(position in affected for position in positions):
+            dangerous.add(variable)
+    return dangerous
+
+
+def analyze_wardedness(program: Program) -> WardednessReport:
+    """Check the warded condition for every rule of the program."""
+    affected = affected_positions(program)
+    report = WardednessReport(warded=True, affected_positions=affected)
+    for rule in program.rules:
+        dangerous = dangerous_variables(rule, affected)
+        if not dangerous:
+            continue
+        body_atoms = _body_atoms(rule)
+        # Find candidate wards: body atoms containing every dangerous variable.
+        wards = [
+            atom for atom in body_atoms if dangerous <= atom.variables()
+        ]
+        if not wards:
+            report.warded = False
+            report.violations.append(
+                f"rule {rule!r}: dangerous variables {sorted(v.name for v in dangerous)} "
+                "not confined to a single body atom"
+            )
+            continue
+        ward_ok = False
+        for ward in wards:
+            shared_ok = True
+            other_atoms = [atom for atom in body_atoms if atom is not ward]
+            other_variables: Set[Var] = set()
+            for atom in other_atoms:
+                other_variables |= atom.variables()
+            shared = ward.variables() & other_variables
+            for variable in shared:
+                harmless = False
+                for atom in body_atoms:
+                    for index, argument in enumerate(atom.arguments):
+                        if argument == variable and (atom.predicate, index) not in affected:
+                            harmless = True
+                if not harmless:
+                    shared_ok = False
+                    break
+            if shared_ok:
+                ward_ok = True
+                break
+        if not ward_ok:
+            report.warded = False
+            report.violations.append(
+                f"rule {rule!r}: ward shares a possibly-null variable with the rest of the body"
+            )
+    return report

@@ -1,0 +1,105 @@
+"""Plain-text rendering of experiment tables and timing series.
+
+The paper's figures are log-scale bar charts of per-query execution time;
+the harness renders the same data as aligned text tables (one row per
+query, one column per system) plus a compact log-scale bar so the shape of
+the comparison is visible directly in the terminal or in CI logs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    formatted_rows = [[_format_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted_rows:
+        for index, value in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(value))
+
+    def render_row(values: Sequence[str]) -> str:
+        cells = [
+            value.ljust(widths[index]) if index < len(widths) else value
+            for index, value in enumerate(values)
+        ]
+        return "| " + " | ".join(cells) + " |"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("|" + "|".join("-" * (width + 2) for width in widths) + "|")
+    for row in formatted_rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def _log_bar(value: Optional[float], minimum: float = 1e-4, width: int = 24) -> str:
+    """A log-scale bar: each character ≈ one third of a decade."""
+    if value is None:
+        return "TIMEOUT/ERROR"
+    clamped = max(value, minimum)
+    magnitude = math.log10(clamped / minimum)
+    return "#" * max(1, min(width, int(round(magnitude * 3))))
+
+
+def format_timing_series(
+    query_ids: Sequence[str],
+    series: Dict[str, Sequence[Optional[float]]],
+    title: Optional[str] = None,
+) -> str:
+    """Render per-query execution times of several systems.
+
+    ``series`` maps a system name to one value per query; ``None`` marks a
+    timeout or error (rendered as such, like the missing bars of the
+    paper's figures).
+    """
+    headers = ["query"] + [
+        column
+        for system in series
+        for column in (f"{system} [s]", f"{system} (log)")
+    ]
+    rows: List[List[Cell]] = []
+    for index, query_id in enumerate(query_ids):
+        row: List[Cell] = [query_id]
+        for system, values in series.items():
+            value = values[index] if index < len(values) else None
+            row.append(value)
+            row.append(_log_bar(value))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_summary(summary: Dict[str, Cell], title: Optional[str] = None) -> str:
+    """Render a key/value summary block."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max((len(key) for key in summary), default=0)
+    for key, value in summary.items():
+        lines.append(f"  {key.ljust(width)} : {_format_cell(value)}")
+    return "\n".join(lines)

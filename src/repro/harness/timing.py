@@ -1,0 +1,56 @@
+"""Timing utilities: wall-clock measurement and best-effort timeouts.
+
+The paper runs every system with a 900-second timeout.  At laptop scale
+the harness uses much smaller budgets, enforced with ``signal.setitimer``
+when running on the main thread (the usual pytest / script case) and
+falling back to unenforced execution otherwise.  Engines that support a
+cooperative timeout (the SparqLog engine's Datalog evaluator) additionally
+check their own deadline.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from typing import Callable, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class TimeoutError_(RuntimeError):
+    """Raised when a call exceeds its time budget."""
+
+
+def _is_main_thread() -> bool:
+    return threading.current_thread() is threading.main_thread()
+
+
+def call_with_timeout(function: Callable[[], T], seconds: float) -> T:
+    """Run ``function`` with a best-effort wall-clock timeout.
+
+    On the main thread a SIGALRM-based interrupt is installed; elsewhere
+    the function simply runs to completion (cooperative engine timeouts
+    still apply).
+    """
+    if seconds is None or seconds <= 0 or not _is_main_thread() or not hasattr(signal, "SIGALRM"):
+        return function()
+
+    def _handler(signum, frame):  # pragma: no cover - signal plumbing
+        raise TimeoutError_(f"evaluation exceeded {seconds:.1f}s")
+
+    previous_handler = signal.signal(signal.SIGALRM, _handler)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return function()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous_handler)
+
+
+def time_call(function: Callable[[], T]) -> Tuple[T, float]:
+    """Run ``function`` and return (result, elapsed_seconds)."""
+    start = time.perf_counter()
+    result = function()
+    elapsed = time.perf_counter() - start
+    return result, elapsed

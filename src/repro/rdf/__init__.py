@@ -1,0 +1,44 @@
+"""RDF substrate: terms, graphs, datasets and serialisation formats.
+
+This package implements the portion of the RDF 1.1 data model that the
+SparqLog translation needs: IRIs, literals (with datatypes and language
+tags), blank nodes, triples, graphs with pattern-matching indexes, and
+datasets consisting of a default graph plus named graphs.  Parsers for
+N-Triples and a practical subset of Turtle are included so that example
+data and benchmark datasets can be loaded from text.
+"""
+
+from repro.rdf.terms import (
+    RDF,
+    RDFS,
+    XSD,
+    BlankNode,
+    IRI,
+    Literal,
+    Term,
+    Triple,
+    Variable,
+)
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.namespace import Namespace, PrefixMap
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.turtle import parse_turtle
+
+__all__ = [
+    "BlankNode",
+    "Dataset",
+    "Graph",
+    "IRI",
+    "Literal",
+    "Namespace",
+    "PrefixMap",
+    "RDF",
+    "RDFS",
+    "Term",
+    "Triple",
+    "Variable",
+    "XSD",
+    "parse_ntriples",
+    "parse_turtle",
+    "serialize_ntriples",
+]

@@ -1,0 +1,245 @@
+"""RDF graphs and datasets with pattern-matching indexes.
+
+A :class:`Graph` stores a *set* of triples and maintains three hash
+indexes (SPO, POS, OSP) so that any triple pattern with at least one bound
+component can be answered without a full scan.  A :class:`Dataset` holds a
+default graph plus zero or more named graphs, mirroring the structure that
+SPARQL's ``FROM`` / ``FROM NAMED`` / ``GRAPH`` constructs operate on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.rdf.terms import IRI, Term, Triple
+
+
+class Graph:
+    """A set of RDF triples with SPO / POS / OSP indexes.
+
+    The graph behaves like a collection: ``len``, ``in`` and iteration are
+    supported.  Pattern matching is done through :meth:`triples` where
+    ``None`` acts as a wildcard.
+    """
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None) -> None:
+        self._triples: Set[Triple] = set()
+        self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        if triples:
+            for triple in triples:
+                self.add(triple)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, triple: Triple) -> None:
+        """Add a ground triple to the graph (idempotent)."""
+        if not triple.is_ground():
+            raise ValueError(f"cannot add non-ground triple: {triple!r}")
+        if triple in self._triples:
+            return
+        self._triples.add(triple)
+        subject, predicate, obj = triple
+        self._spo[subject][predicate].add(obj)
+        self._pos[predicate][obj].add(subject)
+        self._osp[obj][subject].add(predicate)
+
+    def add_triple(self, subject: Term, predicate: Term, obj: Term) -> None:
+        """Convenience wrapper to add a triple from its components."""
+        self.add(Triple(subject, predicate, obj))
+
+    def update(self, triples: Iterable[Triple]) -> None:
+        """Add every triple from ``triples``."""
+        for triple in triples:
+            self.add(triple)
+
+    def remove(self, triple: Triple) -> None:
+        """Remove a triple; missing triples are ignored."""
+        if triple not in self._triples:
+            return
+        self._triples.discard(triple)
+        subject, predicate, obj = triple
+        self._spo[subject][predicate].discard(obj)
+        self._pos[predicate][obj].discard(subject)
+        self._osp[obj][subject].discard(predicate)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __repr__(self) -> str:
+        return f"Graph({len(self._triples)} triples)"
+
+    def copy(self) -> "Graph":
+        """Return a new graph containing the same triples."""
+        return Graph(self._triples)
+
+    def triples(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Yield all triples matching the pattern.
+
+        ``None`` components are wildcards.  The most selective available
+        index is chosen based on which components are bound.
+        """
+        if subject is not None and predicate is not None and obj is not None:
+            candidate = Triple(subject, predicate, obj)
+            if candidate in self._triples:
+                yield candidate
+            return
+        if subject is not None:
+            by_predicate = self._spo.get(subject)
+            if not by_predicate:
+                return
+            if predicate is not None:
+                for matched_obj in by_predicate.get(predicate, ()):  # S P ?
+                    yield Triple(subject, predicate, matched_obj)
+            else:
+                for pred, objects in by_predicate.items():  # S ? ? / S ? O
+                    for matched_obj in objects:
+                        if obj is None or matched_obj == obj:
+                            yield Triple(subject, pred, matched_obj)
+            return
+        if predicate is not None:
+            by_object = self._pos.get(predicate)
+            if not by_object:
+                return
+            if obj is not None:
+                for matched_subject in by_object.get(obj, ()):  # ? P O
+                    yield Triple(matched_subject, predicate, obj)
+            else:
+                for matched_obj, subjects in by_object.items():  # ? P ?
+                    for matched_subject in subjects:
+                        yield Triple(matched_subject, predicate, matched_obj)
+            return
+        if obj is not None:
+            by_subject = self._osp.get(obj)
+            if not by_subject:
+                return
+            for matched_subject, predicates in by_subject.items():  # ? ? O
+                for pred in predicates:
+                    yield Triple(matched_subject, pred, obj)
+            return
+        yield from self._triples
+
+    def subjects(self) -> Set[Term]:
+        """Return the set of all subjects."""
+        return {triple.subject for triple in self._triples}
+
+    def predicates(self) -> Set[Term]:
+        """Return the set of all predicates."""
+        return {triple.predicate for triple in self._triples}
+
+    def objects(self) -> Set[Term]:
+        """Return the set of all objects."""
+        return {triple.object for triple in self._triples}
+
+    def terms(self) -> Set[Term]:
+        """Return every term occurring anywhere in the graph."""
+        result: Set[Term] = set()
+        for triple in self._triples:
+            result.update(triple)
+        return result
+
+    def nodes(self) -> Set[Term]:
+        """Return every term occurring in subject or object position."""
+        result: Set[Term] = set()
+        for triple in self._triples:
+            result.add(triple.subject)
+            result.add(triple.object)
+        return result
+
+    def objects_for(self, subject: Term, predicate: Term) -> Set[Term]:
+        """Return the set of objects for a fixed subject and predicate."""
+        return set(self._spo.get(subject, {}).get(predicate, ()))
+
+    def subjects_for(self, predicate: Term, obj: Term) -> Set[Term]:
+        """Return the set of subjects for a fixed predicate and object."""
+        return set(self._pos.get(predicate, {}).get(obj, ()))
+
+
+class Dataset:
+    """An RDF dataset: a default graph plus named graphs.
+
+    Named graphs are keyed by their IRI.  The dataset is the unit of input
+    to both the reference SPARQL evaluator and the SparqLog data
+    translation.
+    """
+
+    def __init__(
+        self,
+        default_graph: Optional[Graph] = None,
+        named_graphs: Optional[Dict[IRI, Graph]] = None,
+    ) -> None:
+        self.default_graph = default_graph if default_graph is not None else Graph()
+        self.named_graphs: Dict[IRI, Graph] = dict(named_graphs or {})
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(default={len(self.default_graph)} triples, "
+            f"{len(self.named_graphs)} named graphs)"
+        )
+
+    def __len__(self) -> int:
+        return len(self.default_graph) + sum(
+            len(graph) for graph in self.named_graphs.values()
+        )
+
+    def add_named_graph(self, name: IRI, graph: Graph) -> None:
+        """Register ``graph`` under ``name`` (replacing any previous one)."""
+        self.named_graphs[name] = graph
+
+    def graph(self, name: Optional[IRI] = None) -> Graph:
+        """Return the named graph for ``name`` or the default graph.
+
+        A missing named graph is returned as an empty graph, matching the
+        SPARQL semantics of evaluating ``GRAPH <iri>`` against an unknown
+        graph.
+        """
+        if name is None:
+            return self.default_graph
+        return self.named_graphs.get(name, Graph())
+
+    def names(self) -> Set[IRI]:
+        """Return the IRIs of all named graphs."""
+        return set(self.named_graphs.keys())
+
+    def quads(self) -> Iterator[Tuple[Triple, Optional[IRI]]]:
+        """Yield (triple, graph-name) pairs; the default graph uses ``None``."""
+        for triple in self.default_graph:
+            yield triple, None
+        for name, graph in self.named_graphs.items():
+            for triple in graph:
+                yield triple, name
+
+    def copy(self) -> "Dataset":
+        """Return a deep copy of the dataset."""
+        return Dataset(
+            self.default_graph.copy(),
+            {name: graph.copy() for name, graph in self.named_graphs.items()},
+        )
+
+    @staticmethod
+    def from_graph(graph: Graph) -> "Dataset":
+        """Wrap a single graph as the default graph of a new dataset."""
+        return Dataset(default_graph=graph)

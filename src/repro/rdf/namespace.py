@@ -1,0 +1,110 @@
+"""Namespace and prefix handling for RDF documents and SPARQL queries."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.rdf.terms import IRI
+
+
+class Namespace:
+    """A namespace is a base IRI from which terms can be minted.
+
+    Example::
+
+        ex = Namespace("http://example.org/")
+        ex.alice            # IRI("http://example.org/alice")
+        ex["bob-smith"]     # IRI("http://example.org/bob-smith")
+    """
+
+    __slots__ = ("base",)
+
+    def __init__(self, base: str) -> None:
+        self.base = base
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return IRI(self.base + name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return IRI(self.base + name)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.base!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Namespace) and other.base == self.base
+
+    def __hash__(self) -> int:
+        return hash(("Namespace", self.base))
+
+    def contains(self, iri: IRI) -> bool:
+        """Return True when the IRI starts with this namespace's base."""
+        return iri.value.startswith(self.base)
+
+
+class PrefixMap:
+    """A bidirectional mapping between prefixes and namespace IRIs.
+
+    Used by the Turtle parser, the SPARQL parser and the serialisers to
+    expand prefixed names (``ex:name``) into full IRIs and to compact IRIs
+    back into prefixed names when printing.
+    """
+
+    def __init__(self, initial: Optional[Dict[str, str]] = None) -> None:
+        self._prefixes: Dict[str, str] = {}
+        if initial:
+            for prefix, base in initial.items():
+                self.bind(prefix, base)
+
+    def bind(self, prefix: str, base: str) -> None:
+        """Associate ``prefix`` with the namespace ``base``."""
+        self._prefixes[prefix] = base
+
+    def expand(self, prefixed_name: str) -> IRI:
+        """Expand a prefixed name such as ``ex:alice`` into an IRI."""
+        if ":" not in prefixed_name:
+            raise ValueError(f"not a prefixed name: {prefixed_name!r}")
+        prefix, _, local = prefixed_name.partition(":")
+        if prefix not in self._prefixes:
+            raise KeyError(f"unknown prefix: {prefix!r}")
+        return IRI(self._prefixes[prefix] + local)
+
+    def compact(self, iri: IRI) -> str:
+        """Compact an IRI to a prefixed name when a prefix matches.
+
+        Falls back to the angle-bracketed form when no prefix applies.
+        """
+        best_prefix = None
+        best_base = ""
+        for prefix, base in self._prefixes.items():
+            if iri.value.startswith(base) and len(base) > len(best_base):
+                best_prefix, best_base = prefix, base
+        if best_prefix is None:
+            return iri.n3()
+        local = iri.value[len(best_base):]
+        if not local or any(ch in local for ch in "/#?"):
+            return iri.n3()
+        return f"{best_prefix}:{local}"
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._prefixes
+
+    def __getitem__(self, prefix: str) -> str:
+        return self._prefixes[prefix]
+
+    def items(self):
+        return self._prefixes.items()
+
+    def copy(self) -> "PrefixMap":
+        return PrefixMap(dict(self._prefixes))
+
+
+#: Prefixes that are always available to parsers.
+DEFAULT_PREFIXES = {
+    "rdf": "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+    "rdfs": "http://www.w3.org/2000/01/rdf-schema#",
+    "xsd": "http://www.w3.org/2001/XMLSchema#",
+    "owl": "http://www.w3.org/2002/07/owl#",
+}

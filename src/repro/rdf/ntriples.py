@@ -1,0 +1,134 @@
+"""N-Triples parsing and serialisation.
+
+N-Triples is the line-oriented RDF exchange format: one triple per line,
+terminated by ``.``.  The parser is strict about term syntax but tolerant
+of surrounding whitespace and comment lines starting with ``#``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, List
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BlankNode, IRI, Literal, Term, Triple
+
+
+class NTriplesParseError(ValueError):
+    """Raised when a line cannot be parsed as an N-Triples statement."""
+
+    def __init__(self, message: str, line_number: int, line: str) -> None:
+        super().__init__(f"line {line_number}: {message}: {line!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+_IRI_RE = re.compile(r"<([^<>\"{}|^`\\\s]*)>")
+_BNODE_RE = re.compile(r"_:([A-Za-z0-9_\-\.]+)")
+_LITERAL_RE = re.compile(
+    r'"((?:[^"\\]|\\.)*)"(?:@([a-zA-Z\-]+)|\^\^<([^<>\s]+)>)?'
+)
+
+_ESCAPES = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    '\\"': '"',
+    "\\\\": "\\",
+}
+
+
+def _unescape(text: str) -> str:
+    """Resolve the N-Triples string escape sequences."""
+    result = []
+    index = 0
+    while index < len(text):
+        if text[index] == "\\" and index + 1 < len(text):
+            pair = text[index:index + 2]
+            if pair in _ESCAPES:
+                result.append(_ESCAPES[pair])
+                index += 2
+                continue
+            if pair == "\\u" and index + 6 <= len(text):
+                result.append(chr(int(text[index + 2:index + 6], 16)))
+                index += 6
+                continue
+            if pair == "\\U" and index + 10 <= len(text):
+                result.append(chr(int(text[index + 2:index + 10], 16)))
+                index += 10
+                continue
+        result.append(text[index])
+        index += 1
+    return "".join(result)
+
+
+def _parse_term(fragment: str, line_number: int, line: str) -> tuple:
+    """Parse a single term at the start of ``fragment``.
+
+    Returns ``(term, remaining_text)``.
+    """
+    fragment = fragment.lstrip()
+    iri_match = _IRI_RE.match(fragment)
+    if iri_match:
+        return IRI(iri_match.group(1)), fragment[iri_match.end():]
+    bnode_match = _BNODE_RE.match(fragment)
+    if bnode_match:
+        return BlankNode(bnode_match.group(1)), fragment[bnode_match.end():]
+    literal_match = _LITERAL_RE.match(fragment)
+    if literal_match:
+        lexical = _unescape(literal_match.group(1))
+        language = literal_match.group(2)
+        datatype = literal_match.group(3)
+        literal = Literal(
+            lexical,
+            IRI(datatype) if datatype else None,
+            language,
+        )
+        return literal, fragment[literal_match.end():]
+    raise NTriplesParseError("cannot parse term", line_number, line)
+
+
+def iter_ntriples(text: str) -> Iterator[Triple]:
+    """Yield triples from an N-Triples document, one per non-empty line."""
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        subject, rest = _parse_term(line, line_number, raw_line)
+        predicate, rest = _parse_term(rest, line_number, raw_line)
+        obj, rest = _parse_term(rest, line_number, raw_line)
+        rest = rest.strip()
+        if not rest.startswith("."):
+            raise NTriplesParseError("missing terminating '.'", line_number, raw_line)
+        if not isinstance(predicate, IRI):
+            raise NTriplesParseError(
+                "predicate must be an IRI", line_number, raw_line
+            )
+        yield Triple(subject, predicate, obj)
+
+
+def parse_ntriples(text: str) -> Graph:
+    """Parse an N-Triples document into a :class:`Graph`."""
+    graph = Graph()
+    for triple in iter_ntriples(text):
+        graph.add(triple)
+    return graph
+
+
+def serialize_term(term: Term) -> str:
+    """Serialise a single ground term to its N-Triples form."""
+    if isinstance(term, (IRI, BlankNode, Literal)):
+        return term.n3()
+    raise TypeError(f"cannot serialise {term!r} as an N-Triples term")
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialise triples (or a graph) to an N-Triples document string."""
+    lines: List[str] = []
+    for triple in triples:
+        lines.append(
+            f"{serialize_term(triple.subject)} "
+            f"{serialize_term(triple.predicate)} "
+            f"{serialize_term(triple.object)} ."
+        )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,211 @@
+"""A practical Turtle subset parser.
+
+Supports the Turtle features needed by the examples and workloads:
+
+* ``@prefix`` / ``PREFIX`` declarations and prefixed names,
+* ``@base`` declarations (IRIs are resolved by simple concatenation),
+* the ``a`` keyword for ``rdf:type``,
+* predicate lists (``;``) and object lists (``,``),
+* IRIs, blank node labels, plain / typed / language-tagged literals,
+* numeric and boolean shorthand literals,
+* comments (``#`` to end of line).
+
+Blank node property lists (``[...]``) and collections (``(...)``) are not
+supported; the workload generators never emit them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import DEFAULT_PREFIXES, PrefixMap
+from repro.rdf.terms import (
+    BlankNode,
+    IRI,
+    Literal,
+    RDF,
+    Term,
+    Triple,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+
+
+class TurtleParseError(ValueError):
+    """Raised on malformed Turtle input."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<iri><[^<>"{}|^`\\\s]*>)
+  | (?P<literal>"(?:[^"\\]|\\.)*"(?:@[a-zA-Z\-]+|\^\^\S+)?)
+  | (?P<bnode>_:[A-Za-z0-9_\-\.]+)
+  | (?P<prefix_decl>@prefix|@base|PREFIX|BASE)
+  | (?P<number>[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)
+  | (?P<boolean>\btrue\b|\bfalse\b)
+  | (?P<pname>[A-Za-z0-9_\-\.]*:[A-Za-z0-9_\-\.%/()]*)
+  | (?P<keyword_a>\ba\b)
+  | (?P<punct>[;,.\[\]\(\)])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise TurtleParseError(
+                f"unexpected character at offset {position}: {text[position:position + 20]!r}"
+            )
+        kind = match.lastgroup
+        value = match.group()
+        position = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append((kind, value))
+    return tokens
+
+
+def _parse_literal_token(token: str) -> Literal:
+    match = re.match(r'"((?:[^"\\]|\\.)*)"(?:@([a-zA-Z\-]+)|\^\^(\S+))?$', token)
+    if match is None:
+        raise TurtleParseError(f"malformed literal: {token!r}")
+    lexical = (
+        match.group(1)
+        .replace('\\"', '"')
+        .replace("\\n", "\n")
+        .replace("\\t", "\t")
+        .replace("\\\\", "\\")
+    )
+    language = match.group(2)
+    datatype_token = match.group(3)
+    datatype: Optional[IRI] = None
+    if datatype_token:
+        if datatype_token.startswith("<") and datatype_token.endswith(">"):
+            datatype = IRI(datatype_token[1:-1])
+        else:
+            datatype = IRI(datatype_token)  # resolved later against prefixes
+    return Literal(lexical, datatype, language)
+
+
+class _TurtleParser:
+    """Recursive token consumer building triples into a graph."""
+
+    def __init__(self, text: str, prefixes: Optional[PrefixMap] = None) -> None:
+        self.tokens = _tokenize(text)
+        self.position = 0
+        self.prefixes = prefixes.copy() if prefixes else PrefixMap(DEFAULT_PREFIXES)
+        self.base = ""
+        self.graph = Graph()
+
+    # -- token helpers -------------------------------------------------
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise TurtleParseError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def _expect_punct(self, symbol: str) -> None:
+        kind, value = self._next()
+        if kind != "punct" or value != symbol:
+            raise TurtleParseError(f"expected {symbol!r}, found {value!r}")
+
+    # -- grammar -------------------------------------------------------
+    def parse(self) -> Graph:
+        while self._peek() is not None:
+            kind, value = self._peek()
+            if kind == "prefix_decl":
+                self._parse_directive()
+            else:
+                self._parse_triples_block()
+        return self.graph
+
+    def _parse_directive(self) -> None:
+        _, keyword = self._next()
+        if keyword in ("@prefix", "PREFIX"):
+            _, pname = self._next()
+            if not pname.endswith(":"):
+                raise TurtleParseError(f"malformed prefix name: {pname!r}")
+            kind, iri_token = self._next()
+            if kind != "iri":
+                raise TurtleParseError("prefix declaration requires an IRI")
+            self.prefixes.bind(pname[:-1], iri_token[1:-1])
+        else:  # @base / BASE
+            kind, iri_token = self._next()
+            if kind != "iri":
+                raise TurtleParseError("base declaration requires an IRI")
+            self.base = iri_token[1:-1]
+        if keyword.startswith("@"):
+            self._expect_punct(".")
+
+    def _parse_triples_block(self) -> None:
+        subject = self._parse_term(position="subject")
+        while True:
+            predicate = self._parse_term(position="predicate")
+            while True:
+                obj = self._parse_term(position="object")
+                self.graph.add(Triple(subject, predicate, obj))
+                token = self._peek()
+                if token is not None and token == ("punct", ","):
+                    self._next()
+                    continue
+                break
+            token = self._peek()
+            if token is not None and token == ("punct", ";"):
+                self._next()
+                # allow a trailing ';' before '.'
+                if self._peek() == ("punct", "."):
+                    break
+                continue
+            break
+        self._expect_punct(".")
+
+    def _parse_term(self, position: str) -> Term:
+        kind, value = self._next()
+        if kind == "iri":
+            return IRI(self.base + value[1:-1] if not value[1:-1].startswith("http") and self.base else value[1:-1])
+        if kind == "pname":
+            return self.prefixes.expand(value)
+        if kind == "keyword_a":
+            if position != "predicate":
+                raise TurtleParseError("'a' keyword only allowed as predicate")
+            return RDF.type
+        if kind == "bnode":
+            return BlankNode(value[2:])
+        if kind == "literal":
+            literal = _parse_literal_token(value)
+            if literal.datatype is not None and ":" in literal.datatype.value and not literal.datatype.value.startswith("http"):
+                literal = Literal(
+                    literal.lexical,
+                    self.prefixes.expand(literal.datatype.value),
+                    literal.language,
+                )
+            return literal
+        if kind == "number":
+            if "." in value or "e" in value.lower():
+                datatype = XSD_DOUBLE if "e" in value.lower() else XSD_DECIMAL
+                return Literal(value, datatype)
+            return Literal(value, XSD_INTEGER)
+        if kind == "boolean":
+            return Literal(value, XSD_BOOLEAN)
+        raise TurtleParseError(f"unexpected token {value!r} in {position} position")
+
+
+def parse_turtle(text: str, prefixes: Optional[PrefixMap] = None) -> Graph:
+    """Parse a Turtle document (subset, see module docstring) into a graph."""
+    return _TurtleParser(text, prefixes).parse()

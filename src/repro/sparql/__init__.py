@@ -1,0 +1,71 @@
+"""SPARQL 1.1 front-end: tokenizer, parser, algebra and reference evaluator.
+
+The parser turns a SPARQL query string into an algebra tree
+(:mod:`repro.sparql.algebra`).  The same tree is consumed by two engines:
+
+* the reference bag-semantics evaluator (:mod:`repro.sparql.evaluator`),
+  which directly implements the W3C semantics and doubles as the
+  "Fuseki-like" baseline, and
+* the SparqLog translator (:mod:`repro.core`), which compiles the tree into
+  a Warded Datalog± program.
+"""
+
+from repro.sparql.algebra import (
+    AskQuery,
+    BGP,
+    Filter,
+    GraphGraphPattern,
+    Join,
+    LeftJoin,
+    Minus,
+    PathPattern,
+    Query,
+    SelectQuery,
+    TriplePatternNode,
+    Union,
+)
+from repro.sparql.parser import parse_query, SparqlSyntaxError
+from repro.sparql.paths import (
+    AlternativePath,
+    InversePath,
+    LinkPath,
+    NegatedPropertySet,
+    OneOrMorePath,
+    PropertyPath,
+    RepeatPath,
+    SequencePath,
+    ZeroOrMorePath,
+    ZeroOrOnePath,
+)
+from repro.sparql.evaluator import SparqlEvaluator
+from repro.sparql.solutions import Binding, SolutionSequence
+
+__all__ = [
+    "AlternativePath",
+    "AskQuery",
+    "BGP",
+    "Binding",
+    "Filter",
+    "GraphGraphPattern",
+    "InversePath",
+    "Join",
+    "LeftJoin",
+    "LinkPath",
+    "Minus",
+    "NegatedPropertySet",
+    "OneOrMorePath",
+    "PathPattern",
+    "PropertyPath",
+    "Query",
+    "RepeatPath",
+    "SelectQuery",
+    "SequencePath",
+    "SolutionSequence",
+    "SparqlEvaluator",
+    "SparqlSyntaxError",
+    "TriplePatternNode",
+    "Union",
+    "ZeroOrMorePath",
+    "ZeroOrOnePath",
+    "parse_query",
+]

@@ -1,0 +1,686 @@
+"""Reference SPARQL 1.1 evaluator with bag semantics.
+
+The evaluator implements the W3C SPARQL algebra directly over a
+:class:`repro.rdf.Dataset`.  It serves two roles in the reproduction:
+
+* it is the standard-compliant "Jena Fuseki"-style baseline used in the
+  compliance and performance experiments, and
+* it provides the ground truth against which the SparqLog translation is
+  differentially tested.
+
+Property-path evaluation follows the spec's ALP procedure: closure
+operators (``?``, ``*``, ``+``) are evaluated per start node with set
+semantics, all other path operators preserve duplicates.  Like Jena's ARQ
+engine, a recursive path with two unbound endpoints is evaluated by
+running the per-node expansion from every node of the active graph — this
+is what makes the native engine slow on the gMark workloads, matching the
+performance shape reported in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.terms import IRI, Literal, Term, Triple, Variable, term_sort_key
+from repro.sparql.algebra import (
+    AskQuery,
+    BGP,
+    Bind,
+    DatasetClause,
+    EmptyPattern,
+    Filter,
+    GraphGraphPattern,
+    GraphPatternNode,
+    Join,
+    LeftJoin,
+    Minus,
+    OrderCondition,
+    PathPattern,
+    ProjectionItem,
+    Query,
+    SelectQuery,
+    TriplePatternNode,
+    Union as UnionNode,
+    ValuesPattern,
+)
+from repro.sparql.expressions import (
+    Aggregate,
+    Expression,
+    evaluate as evaluate_expression,
+    satisfies,
+)
+from repro.sparql.functions import ExpressionError
+from repro.sparql.paths import (
+    AlternativePath,
+    InversePath,
+    LinkPath,
+    NegatedPropertySet,
+    OneOrMorePath,
+    PropertyPath,
+    SequencePath,
+    ZeroOrMorePath,
+    ZeroOrOnePath,
+    normalize_path,
+)
+from repro.sparql.solutions import Binding, EMPTY_BINDING, SolutionSequence
+
+
+class EvaluationError(RuntimeError):
+    """Raised when a query cannot be evaluated (unsupported construct)."""
+
+
+class SparqlEvaluator:
+    """Direct algebra evaluator over an RDF dataset."""
+
+    def __init__(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def evaluate(self, query: Query) -> Union[SolutionSequence, bool]:
+        """Evaluate a parsed query.
+
+        SELECT queries return a :class:`SolutionSequence`; ASK queries
+        return a boolean.
+        """
+        if isinstance(query, SelectQuery):
+            return self._evaluate_select(query)
+        if isinstance(query, AskQuery):
+            return self._evaluate_ask(query)
+        raise EvaluationError(f"unsupported query form {type(query).__name__}")
+
+    # ------------------------------------------------------------------
+    # dataset handling
+    # ------------------------------------------------------------------
+    def _active_dataset(self, clauses: Sequence[DatasetClause]) -> Dataset:
+        """Build the dataset the query runs against from FROM clauses."""
+        if not clauses:
+            return self.dataset
+        default = Graph()
+        named: Dict[IRI, Graph] = {}
+        for clause in clauses:
+            graph = self.dataset.named_graphs.get(clause.graph)
+            if graph is None and clause.graph not in self.dataset.named_graphs:
+                # FROM over the conventional "default" IRI maps to the default graph.
+                graph = self.dataset.default_graph
+            if graph is None:
+                graph = Graph()
+            if clause.named:
+                named[clause.graph] = graph
+            else:
+                default.update(graph)
+        return Dataset(default, named)
+
+    # ------------------------------------------------------------------
+    # query forms
+    # ------------------------------------------------------------------
+    def _evaluate_select(self, query: SelectQuery) -> SolutionSequence:
+        dataset = self._active_dataset(query.dataset_clauses)
+        bindings = self._eval_pattern(query.pattern, dataset.default_graph, dataset)
+        if query.has_aggregates():
+            bindings = self._apply_grouping(query, bindings)
+        else:
+            bindings = self._apply_projection_expressions(query, bindings)
+        if query.having is not None and not query.group_by and not query.has_aggregates():
+            bindings = [b for b in bindings if satisfies(query.having, b)]
+        if query.order_by:
+            bindings = self._apply_order_by(query.order_by, bindings)
+        variables = query.projected_variables()
+        projected = [binding.project(variables) for binding in bindings]
+        if query.distinct or query.reduced:
+            seen = set()
+            unique: List[Binding] = []
+            for binding in projected:
+                if binding not in seen:
+                    seen.add(binding)
+                    unique.append(binding)
+            projected = unique
+        if query.offset:
+            projected = projected[query.offset:]
+        if query.limit is not None:
+            projected = projected[: query.limit]
+        return SolutionSequence(variables, projected)
+
+    def _evaluate_ask(self, query: AskQuery) -> bool:
+        dataset = self._active_dataset(query.dataset_clauses)
+        bindings = self._eval_pattern(query.pattern, dataset.default_graph, dataset)
+        return len(bindings) > 0
+
+    # ------------------------------------------------------------------
+    # graph pattern evaluation
+    # ------------------------------------------------------------------
+    def _eval_pattern(
+        self,
+        node: GraphPatternNode,
+        active_graph: Graph,
+        dataset: Dataset,
+    ) -> List[Binding]:
+        if isinstance(node, EmptyPattern):
+            return [EMPTY_BINDING]
+        if isinstance(node, TriplePatternNode):
+            return self._eval_triple_pattern(node.triple, active_graph)
+        if isinstance(node, PathPattern):
+            return self._eval_path_pattern(node, active_graph)
+        if isinstance(node, BGP):
+            results = [EMPTY_BINDING]
+            for pattern in node.patterns:
+                partial = self._eval_pattern(pattern, active_graph, dataset)
+                results = self._join(results, partial)
+                if not results:
+                    return []
+            return results
+        if isinstance(node, Join):
+            left = self._eval_pattern(node.left, active_graph, dataset)
+            if not left:
+                return []
+            right = self._eval_pattern(node.right, active_graph, dataset)
+            return self._join(left, right)
+        if isinstance(node, LeftJoin):
+            return self._eval_left_join(node, active_graph, dataset)
+        if isinstance(node, UnionNode):
+            left = self._eval_pattern(node.left, active_graph, dataset)
+            right = self._eval_pattern(node.right, active_graph, dataset)
+            return left + right
+        if isinstance(node, Minus):
+            return self._eval_minus(node, active_graph, dataset)
+        if isinstance(node, Filter):
+            inner = self._eval_pattern(node.pattern, active_graph, dataset)
+            return [binding for binding in inner if satisfies(node.condition, binding)]
+        if isinstance(node, GraphGraphPattern):
+            return self._eval_graph(node, dataset)
+        if isinstance(node, Bind):
+            return self._eval_bind(node, active_graph, dataset)
+        if isinstance(node, ValuesPattern):
+            return self._eval_values(node)
+        raise EvaluationError(f"unsupported pattern node {type(node).__name__}")
+
+    def _eval_triple_pattern(self, pattern: Triple, graph: Graph) -> List[Binding]:
+        subject = None if isinstance(pattern.subject, Variable) else pattern.subject
+        predicate = None if isinstance(pattern.predicate, Variable) else pattern.predicate
+        obj = None if isinstance(pattern.object, Variable) else pattern.object
+        results: List[Binding] = []
+        for triple in graph.triples(subject, predicate, obj):
+            mapping: Dict[Variable, Term] = {}
+            consistent = True
+            for pattern_part, triple_part in zip(pattern, triple):
+                if isinstance(pattern_part, Variable):
+                    bound = mapping.get(pattern_part)
+                    if bound is None:
+                        mapping[pattern_part] = triple_part
+                    elif bound != triple_part:
+                        consistent = False
+                        break
+            if consistent:
+                results.append(Binding(mapping))
+        return results
+
+    def _join(self, left: List[Binding], right: List[Binding]) -> List[Binding]:
+        """Bag join of two solution multisets on compatible mappings.
+
+        A hash join on the shared variables that are bound on both sides is
+        used when possible; mappings where a shared variable is unbound
+        fall back to the nested-loop compatibility check.
+        """
+        if not left or not right:
+            return []
+        left_vars = set()
+        for binding in left[: min(len(left), 16)]:
+            left_vars |= binding.variables()
+        right_vars = set()
+        for binding in right[: min(len(right), 16)]:
+            right_vars |= binding.variables()
+        shared = tuple(sorted(left_vars & right_vars, key=lambda v: v.name))
+        results: List[Binding] = []
+        if shared:
+            index: Dict[Tuple, List[Binding]] = defaultdict(list)
+            loose_right: List[Binding] = []
+            for binding in right:
+                key = tuple(binding.get(var) for var in shared)
+                if any(value is None for value in key):
+                    loose_right.append(binding)
+                else:
+                    index[key].append(binding)
+            for left_binding in left:
+                key = tuple(left_binding.get(var) for var in shared)
+                if any(value is None for value in key):
+                    candidates: Iterable[Binding] = right
+                else:
+                    candidates = index.get(key, []) + loose_right
+                for right_binding in candidates:
+                    if left_binding.is_compatible(right_binding):
+                        results.append(left_binding.merge(right_binding))
+        else:
+            for left_binding in left:
+                for right_binding in right:
+                    if left_binding.is_compatible(right_binding):
+                        results.append(left_binding.merge(right_binding))
+        return results
+
+    def _eval_left_join(
+        self, node: LeftJoin, active_graph: Graph, dataset: Dataset
+    ) -> List[Binding]:
+        left = self._eval_pattern(node.left, active_graph, dataset)
+        if not left:
+            return []
+        right = self._eval_pattern(node.right, active_graph, dataset)
+        results: List[Binding] = []
+        for left_binding in left:
+            extended: List[Binding] = []
+            for right_binding in right:
+                if left_binding.is_compatible(right_binding):
+                    merged = left_binding.merge(right_binding)
+                    if node.condition is None or satisfies(node.condition, merged):
+                        extended.append(merged)
+            if extended:
+                results.extend(extended)
+            else:
+                results.append(left_binding)
+        return results
+
+    def _eval_minus(
+        self, node: Minus, active_graph: Graph, dataset: Dataset
+    ) -> List[Binding]:
+        left = self._eval_pattern(node.left, active_graph, dataset)
+        if not left:
+            return []
+        right = self._eval_pattern(node.right, active_graph, dataset)
+        results: List[Binding] = []
+        for left_binding in left:
+            excluded = False
+            for right_binding in right:
+                shared = left_binding.variables() & right_binding.variables()
+                if shared and left_binding.is_compatible(right_binding):
+                    excluded = True
+                    break
+            if not excluded:
+                results.append(left_binding)
+        return results
+
+    def _eval_graph(self, node: GraphGraphPattern, dataset: Dataset) -> List[Binding]:
+        if isinstance(node.graph, Variable):
+            results: List[Binding] = []
+            for name, graph in dataset.named_graphs.items():
+                inner = self._eval_pattern(node.pattern, graph, dataset)
+                name_binding = Binding({node.graph: name})
+                for binding in inner:
+                    if binding.is_compatible(name_binding):
+                        results.append(binding.merge(name_binding))
+            return results
+        graph = dataset.named_graphs.get(node.graph)
+        if graph is None:
+            return []
+        return self._eval_pattern(node.pattern, graph, dataset)
+
+    def _eval_bind(
+        self, node: Bind, active_graph: Graph, dataset: Dataset
+    ) -> List[Binding]:
+        inner = self._eval_pattern(node.pattern, active_graph, dataset)
+        results: List[Binding] = []
+        for binding in inner:
+            try:
+                value = evaluate_expression(node.expression, binding)
+            except ExpressionError:
+                results.append(binding)
+                continue
+            if node.variable in binding and binding[node.variable] != value:
+                continue
+            results.append(binding.extend(node.variable, value))
+        return results
+
+    def _eval_values(self, node: ValuesPattern) -> List[Binding]:
+        results: List[Binding] = []
+        for row in node.rows:
+            mapping = {
+                variable: value
+                for variable, value in zip(node.variables_list, row)
+                if value is not None
+            }
+            results.append(Binding(mapping))
+        return results
+
+    # ------------------------------------------------------------------
+    # property paths
+    # ------------------------------------------------------------------
+    def _eval_path_pattern(self, node: PathPattern, graph: Graph) -> List[Binding]:
+        path = normalize_path(node.path)
+        subject, obj = node.subject, node.object
+        pairs = self._path_pairs(path, graph, subject, obj)
+        results: List[Binding] = []
+        for start, end in pairs:
+            mapping: Dict[Variable, Term] = {}
+            if isinstance(subject, Variable):
+                mapping[subject] = start
+            elif subject != start:
+                continue
+            if isinstance(obj, Variable):
+                if obj in mapping and mapping[obj] != end:
+                    continue
+                mapping[obj] = end
+            elif obj != end:
+                continue
+            results.append(Binding(mapping))
+        return results
+
+    def _path_pairs(
+        self,
+        path: PropertyPath,
+        graph: Graph,
+        subject: Union[Term, Variable],
+        obj: Union[Term, Variable],
+    ) -> List[Tuple[Term, Term]]:
+        """Return the (start, end) pairs matched by a path expression.
+
+        Non-closure operators preserve duplicates; the closure operators
+        return distinct pairs, following the SPARQL property-path
+        semantics.
+        """
+        if isinstance(path, LinkPath):
+            return [
+                (triple.subject, triple.object)
+                for triple in graph.triples(None, path.iri, None)
+            ]
+        if isinstance(path, InversePath):
+            return [
+                (end, start)
+                for start, end in self._path_pairs(path.path, graph, obj, subject)
+            ]
+        if isinstance(path, AlternativePath):
+            return self._path_pairs(path.left, graph, subject, obj) + self._path_pairs(
+                path.right, graph, subject, obj
+            )
+        if isinstance(path, SequencePath):
+            left_pairs = self._path_pairs(path.left, graph, subject, None)
+            right_pairs = self._path_pairs(path.right, graph, None, obj)
+            by_start: Dict[Term, List[Term]] = defaultdict(list)
+            for start, end in right_pairs:
+                by_start[start].append(end)
+            results: List[Tuple[Term, Term]] = []
+            for start, middle in left_pairs:
+                for end in by_start.get(middle, ()):  # bag semantics
+                    results.append((start, end))
+            return results
+        if isinstance(path, NegatedPropertySet):
+            return self._negated_pairs(path, graph)
+        if isinstance(path, ZeroOrOnePath):
+            return self._zero_or_one_pairs(path, graph, subject, obj)
+        if isinstance(path, OneOrMorePath):
+            return self._closure_pairs(path.path, graph, subject, obj, include_zero=False)
+        if isinstance(path, ZeroOrMorePath):
+            return self._closure_pairs(path.path, graph, subject, obj, include_zero=True)
+        raise EvaluationError(f"unsupported property path {path!r}")
+
+    def _negated_pairs(
+        self, path: NegatedPropertySet, graph: Graph
+    ) -> List[Tuple[Term, Term]]:
+        forbidden_forward = set(path.forward)
+        forbidden_inverse = set(path.inverse)
+        results: List[Tuple[Term, Term]] = []
+        if path.forward or not path.inverse:
+            for triple in graph:
+                if triple.predicate not in forbidden_forward:
+                    results.append((triple.subject, triple.object))
+        if path.inverse:
+            for triple in graph:
+                if triple.predicate not in forbidden_inverse:
+                    results.append((triple.object, triple.subject))
+        return results
+
+    def _zero_pairs(
+        self,
+        graph: Graph,
+        subject: Union[Term, Variable],
+        obj: Union[Term, Variable],
+    ) -> Set[Tuple[Term, Term]]:
+        """Zero-length path pairs, including bound endpoints not in the graph."""
+        pairs: Set[Tuple[Term, Term]] = {(node, node) for node in graph.nodes()}
+        subject_is_term = not isinstance(subject, Variable)
+        object_is_term = not isinstance(obj, Variable)
+        if subject_is_term and not object_is_term:
+            pairs.add((subject, subject))
+        if object_is_term and not subject_is_term:
+            pairs.add((obj, obj))
+        if subject_is_term and object_is_term and subject == obj:
+            pairs.add((subject, subject))
+        return pairs
+
+    def _zero_or_one_pairs(
+        self,
+        path: ZeroOrOnePath,
+        graph: Graph,
+        subject: Union[Term, Variable],
+        obj: Union[Term, Variable],
+    ) -> List[Tuple[Term, Term]]:
+        pairs = set(self._zero_pairs(graph, subject, obj))
+        pairs.update(self._path_pairs(path.path, graph, subject, obj))
+        return list(pairs)
+
+    def _closure_pairs(
+        self,
+        inner: PropertyPath,
+        graph: Graph,
+        subject: Union[Term, Variable],
+        obj: Union[Term, Variable],
+        include_zero: bool,
+    ) -> List[Tuple[Term, Term]]:
+        """Evaluate ``inner+`` / ``inner*`` with set semantics.
+
+        Per-node breadth-first expansion in the style of the spec's ALP
+        procedure.  When the subject is bound we expand only from it; when
+        only the object is bound we expand backwards; otherwise we expand
+        from every node in the graph (the expensive two-variable case).
+        """
+        successors = self._single_step_function(inner, graph)
+        pairs: Set[Tuple[Term, Term]] = set()
+
+        def expand(start: Term) -> Set[Term]:
+            reached: Set[Term] = set()
+            frontier = deque(successors(start))
+            while frontier:
+                current = frontier.popleft()
+                if current in reached:
+                    continue
+                reached.add(current)
+                frontier.extend(successors(current))
+            return reached
+
+        if not isinstance(subject, Variable):
+            reachable = expand(subject)
+            if include_zero:
+                reachable = reachable | {subject}
+            for end in reachable:
+                if isinstance(obj, Variable) or obj == end:
+                    pairs.add((subject, end))
+            return list(pairs)
+
+        if not isinstance(obj, Variable):
+            inverse = InversePath(inner)
+            inverted = self._closure_pairs(inverse, graph, obj, subject, include_zero)
+            return [(end, start) for start, end in inverted]
+
+        # Two unbound endpoints: expand from every node of the graph.
+        start_nodes = graph.nodes()
+        for start in start_nodes:
+            reachable = expand(start)
+            if include_zero:
+                reachable = reachable | {start}
+            for end in reachable:
+                pairs.add((start, end))
+        if include_zero:
+            pairs.update(self._zero_pairs(graph, subject, obj))
+        return list(pairs)
+
+    def _single_step_function(self, path: PropertyPath, graph: Graph):
+        """Return a function mapping a node to its one-step path successors."""
+        if isinstance(path, LinkPath):
+            predicate = path.iri
+
+            def link_step(node: Term) -> List[Term]:
+                return [t.object for t in graph.triples(node, predicate, None)]
+
+            return link_step
+
+        if isinstance(path, InversePath) and isinstance(path.path, LinkPath):
+            predicate = path.path.iri
+
+            def inverse_step(node: Term) -> List[Term]:
+                return [t.subject for t in graph.triples(None, predicate, node)]
+
+            return inverse_step
+
+        def generic_step(node: Term) -> List[Term]:
+            return [
+                end
+                for start, end in self._path_pairs(path, graph, node, None)
+                if start == node
+            ]
+
+        return generic_step
+
+    # ------------------------------------------------------------------
+    # solution modifiers
+    # ------------------------------------------------------------------
+    def _apply_projection_expressions(
+        self, query: SelectQuery, bindings: List[Binding]
+    ) -> List[Binding]:
+        """Evaluate (expr AS ?var) projection items for non-grouped queries."""
+        expression_items = [
+            item for item in query.projection if item.expression is not None
+        ]
+        if not expression_items:
+            return bindings
+        results: List[Binding] = []
+        for binding in bindings:
+            extended = binding
+            for item in expression_items:
+                try:
+                    value = evaluate_expression(item.expression, binding)
+                except ExpressionError:
+                    continue
+                extended = extended.extend(item.variable, value)
+            results.append(extended)
+        return results
+
+    def _apply_grouping(
+        self, query: SelectQuery, bindings: List[Binding]
+    ) -> List[Binding]:
+        group_keys = query.group_by
+        groups: Dict[Tuple, List[Binding]] = defaultdict(list)
+        for binding in bindings:
+            key_parts = []
+            for key_expression in group_keys:
+                try:
+                    key_parts.append(evaluate_expression(key_expression, binding))
+                except ExpressionError:
+                    key_parts.append(None)
+            groups[tuple(key_parts)].append(binding)
+        if not group_keys:
+            groups = {(): bindings}
+
+        results: List[Binding] = []
+        for key_parts, group in groups.items():
+            if not group and not bindings:
+                continue
+            mapping: Dict[Variable, Term] = {}
+            for key_expression, value in zip(group_keys, key_parts):
+                from repro.sparql.expressions import VariableExpr
+
+                if isinstance(key_expression, VariableExpr) and value is not None:
+                    mapping[key_expression.variable] = value
+            for item in query.projection:
+                if item.expression is None:
+                    if group and item.variable in group[0]:
+                        mapping[item.variable] = group[0][item.variable]
+                    continue
+                if isinstance(item.expression, Aggregate):
+                    value = self._evaluate_aggregate(item.expression, group)
+                else:
+                    try:
+                        value = evaluate_expression(item.expression, group[0]) if group else None
+                    except ExpressionError:
+                        value = None
+                if value is not None:
+                    mapping[item.variable] = value
+            candidate = Binding(mapping)
+            if query.having is not None and not satisfies(query.having, candidate):
+                continue
+            results.append(candidate)
+        return results
+
+    def _evaluate_aggregate(
+        self, aggregate: Aggregate, group: List[Binding]
+    ) -> Optional[Term]:
+        values: List[Term] = []
+        if aggregate.argument is None:
+            values = [Literal.from_python(1) for _ in group]
+        else:
+            for binding in group:
+                try:
+                    values.append(evaluate_expression(aggregate.argument, binding))
+                except ExpressionError:
+                    continue
+        if aggregate.distinct:
+            seen = set()
+            unique: List[Term] = []
+            for value in values:
+                if value not in seen:
+                    seen.add(value)
+                    unique.append(value)
+            values = unique
+        operation = aggregate.operation.upper()
+        if operation == "COUNT":
+            return Literal.from_python(len(values))
+        if not values:
+            return None
+        if operation == "SAMPLE":
+            return values[0]
+        if operation in ("MIN", "MAX"):
+            ordered = sorted(values, key=term_sort_key)
+            return ordered[0] if operation == "MIN" else ordered[-1]
+        numeric: List[float] = []
+        for value in values:
+            if isinstance(value, Literal):
+                as_python = value.as_python()
+                if isinstance(as_python, (int, float)) and not isinstance(as_python, bool):
+                    numeric.append(as_python)
+        if not numeric:
+            return None
+        if operation == "SUM":
+            total = sum(numeric)
+            return Literal.from_python(int(total) if float(total).is_integer() else total)
+        if operation == "AVG":
+            return Literal.from_python(sum(numeric) / len(numeric))
+        raise EvaluationError(f"unsupported aggregate {operation}")
+
+    def _apply_order_by(
+        self, conditions: Sequence[OrderCondition], bindings: List[Binding]
+    ) -> List[Binding]:
+        def sort_key(binding: Binding):
+            key = []
+            for condition in conditions:
+                try:
+                    value = evaluate_expression(condition.expression, binding)
+                    part = term_sort_key(value)
+                except ExpressionError:
+                    part = (0, "")
+                key.append(part if condition.ascending else _Reversed(part))
+            return key
+
+        return sorted(bindings, key=sort_key)
+
+
+class _Reversed:
+    """Wrapper inverting comparison order for DESC sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value

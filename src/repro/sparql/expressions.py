@@ -1,0 +1,336 @@
+"""SPARQL filter / projection expression AST and evaluation.
+
+Expressions appear in FILTER constraints, BIND assignments, ORDER BY keys,
+aggregate arguments and HAVING clauses.  Evaluation follows the SPARQL 1.1
+error semantics: evaluating an expression over a solution mapping either
+yields an RDF term / value or raises :class:`ExpressionError`; FILTER
+treats an error as "not satisfied", while most functions propagate errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.rdf.terms import (
+    IRI,
+    Literal,
+    Term,
+    Variable,
+    XSD_BOOLEAN,
+)
+from repro.sparql.functions import (
+    ExpressionError,
+    apply_function,
+    effective_boolean_value,
+    numeric_value,
+    term_compare,
+)
+from repro.sparql.solutions import Binding
+
+
+class Expression:
+    """Base class of all expression nodes."""
+
+    __slots__ = ()
+
+    def variables(self) -> set:
+        """Return the set of variables mentioned by the expression."""
+        return set()
+
+
+@dataclass(frozen=True)
+class VariableExpr(Expression):
+    """A reference to a query variable."""
+
+    variable: Variable
+
+    def variables(self) -> set:
+        return {self.variable}
+
+    def __repr__(self) -> str:
+        return repr(self.variable)
+
+
+@dataclass(frozen=True)
+class TermExpr(Expression):
+    """A constant RDF term (IRI or literal)."""
+
+    term: Term
+
+    def __repr__(self) -> str:
+        return repr(self.term)
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    """Logical conjunction with SPARQL three-valued error handling."""
+
+    left: Expression
+    right: Expression
+
+    def variables(self) -> set:
+        return self.left.variables() | self.right.variables()
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    """Logical disjunction with SPARQL three-valued error handling."""
+
+    left: Expression
+    right: Expression
+
+    def variables(self) -> set:
+        return self.left.variables() | self.right.variables()
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Logical negation."""
+
+    operand: Expression
+
+    def variables(self) -> set:
+        return self.operand.variables()
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """A binary comparison: ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def variables(self) -> set:
+        return self.left.variables() | self.right.variables()
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """A binary arithmetic operation: ``+``, ``-``, ``*``, ``/``."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def variables(self) -> set:
+        return self.left.variables() | self.right.variables()
+
+
+@dataclass(frozen=True)
+class UnaryMinus(Expression):
+    """Numeric negation (``-expr``)."""
+
+    operand: Expression
+
+    def variables(self) -> set:
+        return self.operand.variables()
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A call to a SPARQL built-in function, e.g. ``REGEX``, ``STR``.
+
+    The function name is stored upper-cased.
+    """
+
+    name: str
+    arguments: Tuple[Expression, ...]
+
+    def variables(self) -> set:
+        result = set()
+        for argument in self.arguments:
+            result |= argument.variables()
+        return result
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(map(repr, self.arguments))})"
+
+
+@dataclass(frozen=True)
+class InExpr(Expression):
+    """``expr IN (a, b, ...)`` or ``expr NOT IN (...)``."""
+
+    operand: Expression
+    options: Tuple[Expression, ...]
+    negated: bool = False
+
+    def variables(self) -> set:
+        result = self.operand.variables()
+        for option in self.options:
+            result |= option.variables()
+        return result
+
+
+@dataclass(frozen=True)
+class Aggregate(Expression):
+    """An aggregate expression inside a SELECT with GROUP BY.
+
+    ``operation`` is one of COUNT, SUM, MIN, MAX, AVG, SAMPLE and
+    ``argument`` is ``None`` only for ``COUNT(*)``.
+    """
+
+    operation: str
+    argument: Optional[Expression]
+    distinct: bool = False
+
+    def variables(self) -> set:
+        return self.argument.variables() if self.argument is not None else set()
+
+
+TRUE_LITERAL = Literal("true", XSD_BOOLEAN)
+FALSE_LITERAL = Literal("false", XSD_BOOLEAN)
+
+
+def _boolean(value: bool) -> Literal:
+    return TRUE_LITERAL if value else FALSE_LITERAL
+
+
+def evaluate(expression: Expression, binding: Binding) -> Term:
+    """Evaluate ``expression`` under ``binding``.
+
+    Returns an RDF term.  Raises :class:`ExpressionError` when the SPARQL
+    semantics prescribes an error (e.g. unbound variable used in a numeric
+    comparison, type errors, malformed regular expressions).
+    """
+    if isinstance(expression, VariableExpr):
+        value = binding.get(expression.variable)
+        if value is None:
+            raise ExpressionError(f"unbound variable {expression.variable}")
+        return value
+    if isinstance(expression, TermExpr):
+        return expression.term
+    if isinstance(expression, And):
+        return _evaluate_and(expression, binding)
+    if isinstance(expression, Or):
+        return _evaluate_or(expression, binding)
+    if isinstance(expression, Not):
+        value = effective_boolean_value(evaluate(expression.operand, binding))
+        return _boolean(not value)
+    if isinstance(expression, Comparison):
+        return _evaluate_comparison(expression, binding)
+    if isinstance(expression, Arithmetic):
+        return _evaluate_arithmetic(expression, binding)
+    if isinstance(expression, UnaryMinus):
+        value = numeric_value(evaluate(expression.operand, binding))
+        return Literal.from_python(-value)
+    if isinstance(expression, FunctionCall):
+        return _evaluate_function(expression, binding)
+    if isinstance(expression, InExpr):
+        return _evaluate_in(expression, binding)
+    if isinstance(expression, Aggregate):
+        raise ExpressionError("aggregate evaluated outside GROUP BY context")
+    raise ExpressionError(f"unknown expression node: {expression!r}")
+
+
+def _evaluate_and(expression: And, binding: Binding) -> Literal:
+    # SPARQL's three-valued logic: an error on one side can still yield
+    # false if the other side is false.
+    left_error = right_error = None
+    left_value = right_value = None
+    try:
+        left_value = effective_boolean_value(evaluate(expression.left, binding))
+    except ExpressionError as error:
+        left_error = error
+    try:
+        right_value = effective_boolean_value(evaluate(expression.right, binding))
+    except ExpressionError as error:
+        right_error = error
+    if left_error is None and right_error is None:
+        return _boolean(left_value and right_value)
+    if left_error is None and left_value is False:
+        return FALSE_LITERAL
+    if right_error is None and right_value is False:
+        return FALSE_LITERAL
+    raise left_error or right_error
+
+
+def _evaluate_or(expression: Or, binding: Binding) -> Literal:
+    left_error = right_error = None
+    left_value = right_value = None
+    try:
+        left_value = effective_boolean_value(evaluate(expression.left, binding))
+    except ExpressionError as error:
+        left_error = error
+    try:
+        right_value = effective_boolean_value(evaluate(expression.right, binding))
+    except ExpressionError as error:
+        right_error = error
+    if left_error is None and right_error is None:
+        return _boolean(left_value or right_value)
+    if left_error is None and left_value is True:
+        return TRUE_LITERAL
+    if right_error is None and right_value is True:
+        return TRUE_LITERAL
+    raise left_error or right_error
+
+
+def _evaluate_comparison(expression: Comparison, binding: Binding) -> Literal:
+    left = evaluate(expression.left, binding)
+    right = evaluate(expression.right, binding)
+    result = term_compare(expression.operator, left, right)
+    return _boolean(result)
+
+
+def _evaluate_arithmetic(expression: Arithmetic, binding: Binding) -> Literal:
+    left = numeric_value(evaluate(expression.left, binding))
+    right = numeric_value(evaluate(expression.right, binding))
+    operator = expression.operator
+    if operator == "+":
+        return Literal.from_python(left + right)
+    if operator == "-":
+        return Literal.from_python(left - right)
+    if operator == "*":
+        return Literal.from_python(left * right)
+    if operator == "/":
+        if right == 0:
+            raise ExpressionError("division by zero")
+        return Literal.from_python(left / right)
+    raise ExpressionError(f"unknown arithmetic operator {operator!r}")
+
+
+def _evaluate_function(expression: FunctionCall, binding: Binding) -> Term:
+    name = expression.name.upper()
+    if name == "BOUND":
+        argument = expression.arguments[0]
+        if not isinstance(argument, VariableExpr):
+            raise ExpressionError("BOUND expects a variable")
+        return _boolean(binding.get(argument.variable) is not None)
+    if name == "COALESCE":
+        for argument in expression.arguments:
+            try:
+                return evaluate(argument, binding)
+            except ExpressionError:
+                continue
+        raise ExpressionError("COALESCE: all arguments errored")
+    if name == "IF":
+        condition = effective_boolean_value(evaluate(expression.arguments[0], binding))
+        chosen = expression.arguments[1] if condition else expression.arguments[2]
+        return evaluate(chosen, binding)
+    arguments = [evaluate(argument, binding) for argument in expression.arguments]
+    return apply_function(name, arguments)
+
+
+def _evaluate_in(expression: InExpr, binding: Binding) -> Literal:
+    operand = evaluate(expression.operand, binding)
+    found = False
+    saved_error: Optional[ExpressionError] = None
+    for option in expression.options:
+        try:
+            if term_compare("=", operand, evaluate(option, binding)):
+                found = True
+                break
+        except ExpressionError as error:
+            saved_error = error
+    if not found and saved_error is not None:
+        raise saved_error
+    return _boolean(found != expression.negated)
+
+
+def satisfies(expression: Expression, binding: Binding) -> bool:
+    """FILTER semantics: errors count as "condition not satisfied"."""
+    try:
+        return effective_boolean_value(evaluate(expression, binding))
+    except ExpressionError:
+        return False

@@ -1,0 +1,261 @@
+"""SPARQL built-in functions, comparison and effective boolean value.
+
+These routines implement the operator mapping of SPARQL 1.1 (Section 17)
+for the functions SparqLog supports (Table 1 of the paper plus the
+FEASIBLE-driven additions: UCASE, DATATYPE, CONTAINS, ...).  They operate
+on :class:`repro.rdf.terms.Term` values and raise :class:`ExpressionError`
+where the standard prescribes a type error.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Union
+
+from repro.rdf.terms import (
+    BlankNode,
+    IRI,
+    Literal,
+    Term,
+    XSD_BOOLEAN,
+    XSD_STRING,
+)
+
+
+class ExpressionError(Exception):
+    """A SPARQL expression evaluation error (type error, unbound var, ...)."""
+
+
+Number = Union[int, float]
+
+
+def effective_boolean_value(term: Term) -> bool:
+    """Compute the SPARQL Effective Boolean Value (EBV) of a term."""
+    if isinstance(term, Literal):
+        datatype = term.effective_datatype
+        if datatype == XSD_BOOLEAN:
+            return term.lexical.strip().lower() in ("true", "1")
+        if term.is_numeric():
+            try:
+                return float(term.lexical) != 0.0
+            except ValueError:
+                return False
+        if datatype == XSD_STRING or term.language is not None:
+            return len(term.lexical) > 0
+        raise ExpressionError(f"no EBV for literal {term!r}")
+    raise ExpressionError(f"no EBV for {term!r}")
+
+
+def numeric_value(term: Term) -> Number:
+    """Return the numeric value of a literal or raise an error."""
+    if isinstance(term, Literal):
+        value = term.as_python()
+        if isinstance(value, bool):
+            raise ExpressionError(f"not a number: {term!r}")
+        if isinstance(value, (int, float)):
+            return value
+        # Plain literals holding digits are accepted (common in benchmark data).
+        try:
+            if "." in term.lexical or "e" in term.lexical.lower():
+                return float(term.lexical)
+            return int(term.lexical)
+        except ValueError as error:
+            raise ExpressionError(f"not a number: {term!r}") from error
+    raise ExpressionError(f"not a number: {term!r}")
+
+
+def string_value(term: Term) -> str:
+    """Return the string value (STR) of a literal or IRI."""
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, IRI):
+        return term.value
+    raise ExpressionError(f"no string value for {term!r}")
+
+
+def term_compare(operator: str, left: Term, right: Term) -> bool:
+    """Evaluate a SPARQL comparison operator over two RDF terms.
+
+    Equality covers IRIs, blank nodes and literals; ordering comparisons
+    require both operands to be numeric literals, both strings, or both
+    comparable by lexical form (dateTime strings order correctly this way).
+    """
+    if operator in ("=", "!="):
+        equal = _terms_equal(left, right)
+        return equal if operator == "=" else not equal
+
+    left_key, right_key = _ordering_values(left, right)
+    if operator == "<":
+        return left_key < right_key
+    if operator == "<=":
+        return left_key <= right_key
+    if operator == ">":
+        return left_key > right_key
+    if operator == ">=":
+        return left_key >= right_key
+    raise ExpressionError(f"unknown comparison operator {operator!r}")
+
+
+def _terms_equal(left: Term, right: Term) -> bool:
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        if left == right:
+            return True
+        if left.is_numeric() and right.is_numeric():
+            try:
+                return float(left.lexical) == float(right.lexical)
+            except ValueError:
+                return False
+        # Simple literals and xsd:string literals compare by lexical form.
+        left_simple = left.language is None and left.effective_datatype == XSD_STRING
+        right_simple = right.language is None and right.effective_datatype == XSD_STRING
+        if left_simple and right_simple:
+            return left.lexical == right.lexical
+        return False
+    return left == right
+
+
+def _ordering_values(left: Term, right: Term):
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        if left.is_numeric() and right.is_numeric():
+            try:
+                return float(left.lexical), float(right.lexical)
+            except ValueError as error:
+                raise ExpressionError("malformed numeric literal") from error
+        return left.lexical, right.lexical
+    if isinstance(left, IRI) and isinstance(right, IRI):
+        return left.value, right.value
+    raise ExpressionError(f"terms not order-comparable: {left!r} vs {right!r}")
+
+
+def _as_regex_flags(flag_string: str) -> int:
+    flags = 0
+    if "i" in flag_string:
+        flags |= re.IGNORECASE
+    if "s" in flag_string:
+        flags |= re.DOTALL
+    if "m" in flag_string:
+        flags |= re.MULTILINE
+    if "x" in flag_string:
+        flags |= re.VERBOSE
+    return flags
+
+
+def _boolean_literal(value: bool) -> Literal:
+    return Literal("true" if value else "false", XSD_BOOLEAN)
+
+
+def apply_function(name: str, arguments: List[Term]) -> Term:
+    """Dispatch a SPARQL built-in function over already-evaluated arguments."""
+    name = name.upper()
+
+    # -- term tests ------------------------------------------------------
+    if name in ("ISIRI", "ISURI"):
+        return _boolean_literal(isinstance(arguments[0], IRI))
+    if name == "ISBLANK":
+        return _boolean_literal(isinstance(arguments[0], BlankNode))
+    if name == "ISLITERAL":
+        return _boolean_literal(isinstance(arguments[0], Literal))
+    if name == "ISNUMERIC":
+        term = arguments[0]
+        return _boolean_literal(isinstance(term, Literal) and term.is_numeric())
+    if name == "SAMETERM":
+        return _boolean_literal(arguments[0] == arguments[1])
+
+    # -- accessors -------------------------------------------------------
+    if name == "STR":
+        return Literal(string_value(arguments[0]))
+    if name == "LANG":
+        term = arguments[0]
+        if not isinstance(term, Literal):
+            raise ExpressionError("LANG expects a literal")
+        return Literal(term.language or "")
+    if name == "DATATYPE":
+        term = arguments[0]
+        if not isinstance(term, Literal):
+            raise ExpressionError("DATATYPE expects a literal")
+        return term.effective_datatype
+    if name == "IRI" or name == "URI":
+        return IRI(string_value(arguments[0]))
+    if name == "LANGMATCHES":
+        tag = string_value(arguments[0]).lower()
+        pattern = string_value(arguments[1]).lower()
+        if pattern == "*":
+            return _boolean_literal(bool(tag))
+        return _boolean_literal(tag == pattern or tag.startswith(pattern + "-"))
+
+    # -- strings ---------------------------------------------------------
+    if name == "REGEX":
+        text = string_value(arguments[0])
+        pattern = string_value(arguments[1])
+        flags = _as_regex_flags(string_value(arguments[2])) if len(arguments) > 2 else 0
+        try:
+            return _boolean_literal(re.search(pattern, text, flags) is not None)
+        except re.error as error:
+            raise ExpressionError(f"malformed regex {pattern!r}") from error
+    if name == "UCASE":
+        return _string_result(arguments[0], string_value(arguments[0]).upper())
+    if name == "LCASE":
+        return _string_result(arguments[0], string_value(arguments[0]).lower())
+    if name == "STRLEN":
+        return Literal.from_python(len(string_value(arguments[0])))
+    if name == "CONTAINS":
+        return _boolean_literal(string_value(arguments[1]) in string_value(arguments[0]))
+    if name == "STRSTARTS":
+        return _boolean_literal(
+            string_value(arguments[0]).startswith(string_value(arguments[1]))
+        )
+    if name == "STRENDS":
+        return _boolean_literal(
+            string_value(arguments[0]).endswith(string_value(arguments[1]))
+        )
+    if name == "STRBEFORE":
+        haystack, needle = string_value(arguments[0]), string_value(arguments[1])
+        index = haystack.find(needle)
+        return Literal(haystack[:index] if index >= 0 else "")
+    if name == "STRAFTER":
+        haystack, needle = string_value(arguments[0]), string_value(arguments[1])
+        index = haystack.find(needle)
+        return Literal(haystack[index + len(needle):] if index >= 0 else "")
+    if name == "SUBSTR":
+        text = string_value(arguments[0])
+        start = int(numeric_value(arguments[1]))
+        if len(arguments) > 2:
+            length = int(numeric_value(arguments[2]))
+            return Literal(text[start - 1:start - 1 + length])
+        return Literal(text[start - 1:])
+    if name == "CONCAT":
+        return Literal("".join(string_value(argument) for argument in arguments))
+    if name == "REPLACE":
+        text = string_value(arguments[0])
+        pattern = string_value(arguments[1])
+        replacement = string_value(arguments[2])
+        try:
+            return Literal(re.sub(pattern, replacement, text))
+        except re.error as error:
+            raise ExpressionError(f"malformed regex {pattern!r}") from error
+    if name == "ENCODE_FOR_URI":
+        text = string_value(arguments[0])
+        return Literal(re.sub(r"[^A-Za-z0-9_.~-]", lambda m: f"%{ord(m.group()):02X}", text))
+
+    # -- numerics ----------------------------------------------------------
+    if name == "ABS":
+        return Literal.from_python(abs(numeric_value(arguments[0])))
+    if name == "CEIL":
+        import math
+
+        return Literal.from_python(int(math.ceil(numeric_value(arguments[0]))))
+    if name == "FLOOR":
+        import math
+
+        return Literal.from_python(int(math.floor(numeric_value(arguments[0]))))
+    if name == "ROUND":
+        return Literal.from_python(round(numeric_value(arguments[0])))
+
+    raise ExpressionError(f"unsupported function {name}")
+
+
+def _string_result(source: Term, new_value: str) -> Literal:
+    """Preserve the language tag / datatype of the source string argument."""
+    if isinstance(source, Literal):
+        return Literal(new_value, source.datatype, source.language)
+    return Literal(new_value)

@@ -1,0 +1,853 @@
+"""Recursive-descent parser for SPARQL 1.1 queries.
+
+The parser covers the feature set SparqLog targets (Table 1 of the paper
+plus the benchmark-driven additions): SELECT / ASK query forms, basic
+graph patterns, property paths (all eight constructors plus bounded
+repetition), OPTIONAL, UNION, MINUS, FILTER, GRAPH, BIND, VALUES,
+GROUP BY with aggregates, HAVING, ORDER BY (including complex key
+expressions), DISTINCT / REDUCED, LIMIT and OFFSET, and FROM /
+FROM NAMED dataset clauses.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from repro.rdf.namespace import DEFAULT_PREFIXES, PrefixMap
+from repro.rdf.terms import (
+    BlankNode,
+    IRI,
+    Literal,
+    RDF,
+    Term,
+    Triple,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+from repro.sparql.algebra import (
+    AskQuery,
+    BGP,
+    Bind,
+    DatasetClause,
+    EmptyPattern,
+    Filter,
+    GraphGraphPattern,
+    GraphPatternNode,
+    Join,
+    LeftJoin,
+    Minus,
+    OrderCondition,
+    PathPattern,
+    ProjectionItem,
+    Query,
+    SelectQuery,
+    TriplePatternNode,
+    Union as UnionNode,
+    ValuesPattern,
+)
+from repro.sparql.expressions import (
+    Aggregate,
+    And,
+    Arithmetic,
+    Comparison,
+    Expression,
+    FunctionCall,
+    InExpr,
+    Not,
+    Or,
+    TermExpr,
+    UnaryMinus,
+    VariableExpr,
+)
+from repro.sparql.paths import (
+    AlternativePath,
+    InversePath,
+    LinkPath,
+    NegatedPropertySet,
+    OneOrMorePath,
+    PropertyPath,
+    RepeatPath,
+    SequencePath,
+    ZeroOrMorePath,
+    ZeroOrOnePath,
+)
+from repro.sparql.tokenizer import SparqlSyntaxError, Token, tokenize
+
+#: Built-in function names accepted in expressions.
+BUILTIN_FUNCTIONS = {
+    "BOUND", "ISIRI", "ISURI", "ISBLANK", "ISLITERAL", "ISNUMERIC", "STR",
+    "LANG", "DATATYPE", "IRI", "URI", "REGEX", "UCASE", "LCASE", "STRLEN",
+    "CONTAINS", "STRSTARTS", "STRENDS", "STRBEFORE", "STRAFTER", "SUBSTR",
+    "CONCAT", "REPLACE", "ABS", "CEIL", "FLOOR", "ROUND", "COALESCE", "IF",
+    "LANGMATCHES", "SAMETERM", "ENCODE_FOR_URI",
+}
+
+_AGGREGATES = {"COUNT", "SUM", "MIN", "MAX", "AVG", "SAMPLE"}
+
+
+class _Parser:
+    """Token-stream consumer producing algebra trees."""
+
+    def __init__(self, text: str) -> None:
+        self.tokens = tokenize(text)
+        self.position = 0
+        self.prefixes = PrefixMap(DEFAULT_PREFIXES)
+        self.base = ""
+        self._bnode_counter = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Optional[Token]:
+        index = self.position + offset
+        if index < len(self.tokens):
+            return self.tokens[index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SparqlSyntaxError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def _accept_keyword(self, *keywords: str) -> Optional[str]:
+        token = self._peek()
+        if token is not None and token.kind == "keyword" and token.value in keywords:
+            self.position += 1
+            return token.value
+        return None
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            token = self._peek()
+            raise SparqlSyntaxError(f"expected {keyword}, found {token}")
+
+    def _accept_op(self, *symbols: str) -> Optional[str]:
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.value in symbols:
+            self.position += 1
+            return token.value
+        return None
+
+    def _expect_op(self, symbol: str) -> None:
+        if not self._accept_op(symbol):
+            token = self._peek()
+            raise SparqlSyntaxError(f"expected {symbol!r}, found {token}")
+
+    def _at_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "keyword" and token.value in keywords
+
+    def _at_op(self, *symbols: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "op" and token.value in symbols
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def parse(self) -> Query:
+        self._parse_prologue()
+        if self._at_keyword("SELECT"):
+            query = self._parse_select()
+        elif self._at_keyword("ASK"):
+            query = self._parse_ask()
+        else:
+            token = self._peek()
+            raise SparqlSyntaxError(
+                f"unsupported query form (expected SELECT or ASK), found {token}"
+            )
+        if self._peek() is not None:
+            raise SparqlSyntaxError(f"trailing tokens after query: {self._peek()}")
+        return query
+
+    def _parse_prologue(self) -> None:
+        while True:
+            if self._accept_keyword("PREFIX"):
+                pname_token = self._next()
+                name = pname_token.value
+                if not name.endswith(":") and ":" in name:
+                    # Tokenizer may attach an empty local part.
+                    name = name.split(":")[0] + ":"
+                iri_token = self._next()
+                if iri_token.kind != "iri":
+                    raise SparqlSyntaxError("PREFIX requires an IRI")
+                self.prefixes.bind(name[:-1], iri_token.value[1:-1])
+                continue
+            if self._accept_keyword("BASE"):
+                iri_token = self._next()
+                if iri_token.kind != "iri":
+                    raise SparqlSyntaxError("BASE requires an IRI")
+                self.base = iri_token.value[1:-1]
+                continue
+            break
+
+    # ------------------------------------------------------------------
+    # query forms
+    # ------------------------------------------------------------------
+    def _parse_select(self) -> SelectQuery:
+        self._expect_keyword("SELECT")
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        reduced = bool(self._accept_keyword("REDUCED"))
+        projection: List[ProjectionItem] = []
+        select_all = False
+        if self._accept_op("*"):
+            select_all = True
+        else:
+            while True:
+                token = self._peek()
+                if token is None:
+                    raise SparqlSyntaxError("unexpected end of SELECT clause")
+                if token.kind == "var":
+                    self._next()
+                    projection.append(ProjectionItem(Variable(token.value[1:])))
+                    continue
+                if token.kind == "op" and token.value == "(":
+                    self._next()
+                    expression = self._parse_expression()
+                    self._expect_keyword("AS")
+                    var_token = self._next()
+                    if var_token.kind != "var":
+                        raise SparqlSyntaxError("expected variable after AS")
+                    self._expect_op(")")
+                    projection.append(
+                        ProjectionItem(Variable(var_token.value[1:]), expression)
+                    )
+                    continue
+                break
+            if not projection:
+                raise SparqlSyntaxError("SELECT clause requires at least one variable")
+        dataset_clauses = self._parse_dataset_clauses()
+        self._accept_keyword("WHERE")
+        pattern = self._parse_group_graph_pattern()
+        group_by, having, order_by, limit, offset = self._parse_solution_modifiers()
+        return SelectQuery(
+            projection=tuple(projection),
+            pattern=pattern,
+            distinct=distinct,
+            reduced=reduced,
+            select_all=select_all,
+            dataset_clauses=dataset_clauses,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+        )
+
+    def _parse_ask(self) -> AskQuery:
+        self._expect_keyword("ASK")
+        dataset_clauses = self._parse_dataset_clauses()
+        self._accept_keyword("WHERE")
+        pattern = self._parse_group_graph_pattern()
+        return AskQuery(pattern=pattern, dataset_clauses=dataset_clauses)
+
+    def _parse_dataset_clauses(self) -> Tuple[DatasetClause, ...]:
+        clauses: List[DatasetClause] = []
+        while self._accept_keyword("FROM"):
+            named = bool(self._accept_keyword("NAMED"))
+            iri = self._parse_iri()
+            clauses.append(DatasetClause(iri, named))
+        return tuple(clauses)
+
+    def _parse_solution_modifiers(self):
+        group_by: Tuple[Expression, ...] = ()
+        having: Optional[Expression] = None
+        order_by: List[OrderCondition] = []
+        limit: Optional[int] = None
+        offset: Optional[int] = None
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            keys: List[Expression] = []
+            while True:
+                token = self._peek()
+                if token is None:
+                    break
+                if token.kind == "var":
+                    self._next()
+                    keys.append(VariableExpr(Variable(token.value[1:])))
+                    continue
+                if token.kind == "op" and token.value == "(":
+                    self._next()
+                    keys.append(self._parse_expression())
+                    self._expect_op(")")
+                    continue
+                break
+            group_by = tuple(keys)
+        if self._accept_keyword("HAVING"):
+            self._expect_op("(")
+            having = self._parse_expression()
+            self._expect_op(")")
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = self._parse_order_conditions()
+        # LIMIT and OFFSET may appear in either order.
+        for _ in range(2):
+            if self._accept_keyword("LIMIT"):
+                limit = self._parse_integer()
+            elif self._accept_keyword("OFFSET"):
+                offset = self._parse_integer()
+        return group_by, having, tuple(order_by), limit, offset
+
+    def _parse_order_conditions(self) -> List[OrderCondition]:
+        conditions: List[OrderCondition] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind == "keyword" and token.value in ("ASC", "DESC"):
+                self._next()
+                ascending = token.value == "ASC"
+                self._expect_op("(")
+                expression = self._parse_expression()
+                self._expect_op(")")
+                conditions.append(OrderCondition(expression, ascending))
+                continue
+            if token.kind == "var":
+                self._next()
+                conditions.append(OrderCondition(VariableExpr(Variable(token.value[1:]))))
+                continue
+            if token.kind == "op" and token.value == "(":
+                self._next()
+                expression = self._parse_expression()
+                self._expect_op(")")
+                conditions.append(OrderCondition(expression))
+                continue
+            if token.kind == "funcname" or (
+                token.kind == "keyword" and token.value in _AGGREGATES
+            ):
+                conditions.append(OrderCondition(self._parse_primary_expression()))
+                continue
+            break
+        if not conditions:
+            raise SparqlSyntaxError("ORDER BY requires at least one condition")
+        return conditions
+
+    def _parse_integer(self) -> int:
+        token = self._next()
+        if token.kind != "number":
+            raise SparqlSyntaxError(f"expected integer, found {token}")
+        return int(token.value)
+
+    # ------------------------------------------------------------------
+    # group graph pattern
+    # ------------------------------------------------------------------
+    def _parse_group_graph_pattern(self) -> GraphPatternNode:
+        self._expect_op("{")
+        elements: List[GraphPatternNode] = []
+        filters: List[Expression] = []
+        while not self._at_op("}"):
+            token = self._peek()
+            if token is None:
+                raise SparqlSyntaxError("unterminated group graph pattern")
+            if token.kind == "keyword" and token.value == "OPTIONAL":
+                self._next()
+                optional_pattern, optional_filter = self._parse_optional_body()
+                current = self._combine(elements)
+                elements = [LeftJoin(current, optional_pattern, optional_filter)]
+                self._accept_op(".")
+                continue
+            if token.kind == "keyword" and token.value == "MINUS":
+                self._next()
+                right = self._parse_group_graph_pattern()
+                current = self._combine(elements)
+                elements = [Minus(current, right)]
+                self._accept_op(".")
+                continue
+            if token.kind == "keyword" and token.value == "FILTER":
+                self._next()
+                filters.append(self._parse_constraint())
+                self._accept_op(".")
+                continue
+            if token.kind == "keyword" and token.value == "BIND":
+                self._next()
+                self._expect_op("(")
+                expression = self._parse_expression()
+                self._expect_keyword("AS")
+                var_token = self._next()
+                if var_token.kind != "var":
+                    raise SparqlSyntaxError("expected variable after AS in BIND")
+                self._expect_op(")")
+                current = self._combine(elements)
+                elements = [Bind(current, Variable(var_token.value[1:]), expression)]
+                self._accept_op(".")
+                continue
+            if token.kind == "keyword" and token.value == "VALUES":
+                self._next()
+                elements.append(self._parse_values())
+                self._accept_op(".")
+                continue
+            if token.kind == "keyword" and token.value == "GRAPH":
+                self._next()
+                graph_term = self._parse_var_or_iri()
+                inner = self._parse_group_graph_pattern()
+                elements.append(GraphGraphPattern(graph_term, inner))
+                self._accept_op(".")
+                continue
+            if token.kind == "op" and token.value == "{":
+                # Nested group or union of groups.
+                group = self._parse_group_or_union()
+                elements.append(group)
+                self._accept_op(".")
+                continue
+            # Otherwise: a triples block.
+            triples = self._parse_triples_block()
+            elements.extend(triples)
+        self._expect_op("}")
+        pattern = self._combine(elements)
+        for condition in filters:
+            pattern = Filter(pattern, condition)
+        return pattern
+
+    def _parse_optional_body(self):
+        """Parse the body of OPTIONAL, extracting a top-level filter.
+
+        The SPARQL algebra scopes a filter that appears directly in the
+        OPTIONAL group to the left join (Definition A.9 in the paper), so
+        we return ``(pattern, condition_or_None)``.
+        """
+        pattern = self._parse_group_graph_pattern()
+        if isinstance(pattern, Filter):
+            return pattern.pattern, pattern.condition
+        return pattern, None
+
+    def _parse_group_or_union(self) -> GraphPatternNode:
+        left = self._parse_group_graph_pattern()
+        while self._accept_keyword("UNION"):
+            right = self._parse_group_graph_pattern()
+            left = UnionNode(left, right)
+        return left
+
+    def _combine(self, elements: List[GraphPatternNode]) -> GraphPatternNode:
+        if not elements:
+            return EmptyPattern()
+        basic: List[GraphPatternNode] = []
+        result: Optional[GraphPatternNode] = None
+
+        def flush_basic(current: Optional[GraphPatternNode]) -> Optional[GraphPatternNode]:
+            nonlocal basic
+            if not basic:
+                return current
+            bgp = BGP(tuple(basic)) if len(basic) > 1 else basic[0]
+            basic = []
+            if current is None:
+                return bgp
+            return Join(current, bgp)
+
+        for element in elements:
+            if isinstance(element, (TriplePatternNode, PathPattern)):
+                basic.append(element)
+            else:
+                result = flush_basic(result)
+                result = element if result is None else Join(result, element)
+        result = flush_basic(result)
+        return result if result is not None else EmptyPattern()
+
+    def _parse_values(self) -> ValuesPattern:
+        variables: List[Variable] = []
+        rows: List[Tuple[Optional[Term], ...]] = []
+        if self._accept_op("("):
+            while not self._at_op(")"):
+                token = self._next()
+                if token.kind != "var":
+                    raise SparqlSyntaxError("VALUES expects variables")
+                variables.append(Variable(token.value[1:]))
+            self._expect_op(")")
+            self._expect_op("{")
+            while not self._at_op("}"):
+                self._expect_op("(")
+                row: List[Optional[Term]] = []
+                while not self._at_op(")"):
+                    if self._accept_keyword("UNDEF"):
+                        row.append(None)
+                    else:
+                        row.append(self._parse_graph_term())
+                self._expect_op(")")
+                rows.append(tuple(row))
+            self._expect_op("}")
+        else:
+            token = self._next()
+            if token.kind != "var":
+                raise SparqlSyntaxError("VALUES expects a variable")
+            variables.append(Variable(token.value[1:]))
+            self._expect_op("{")
+            while not self._at_op("}"):
+                if self._accept_keyword("UNDEF"):
+                    rows.append((None,))
+                else:
+                    rows.append((self._parse_graph_term(),))
+            self._expect_op("}")
+        return ValuesPattern(tuple(variables), tuple(rows))
+
+    # ------------------------------------------------------------------
+    # triples blocks
+    # ------------------------------------------------------------------
+    def _parse_triples_block(self) -> List[GraphPatternNode]:
+        patterns: List[GraphPatternNode] = []
+        while True:
+            subject = self._parse_var_or_term()
+            self._parse_property_list(subject, patterns)
+            if self._accept_op("."):
+                token = self._peek()
+                if token is None or (token.kind == "op" and token.value == "}"):
+                    break
+                if token.kind == "keyword" and token.value in (
+                    "OPTIONAL", "MINUS", "FILTER", "BIND", "VALUES", "GRAPH", "UNION",
+                ):
+                    break
+                if token.kind == "op" and token.value == "{":
+                    break
+                continue
+            break
+        return patterns
+
+    def _parse_property_list(
+        self, subject, patterns: List[GraphPatternNode]
+    ) -> None:
+        while True:
+            verb_is_var = self._peek() is not None and self._peek().kind == "var"
+            if verb_is_var:
+                verb_token = self._next()
+                predicate: Union[Variable, PropertyPath] = Variable(verb_token.value[1:])
+            else:
+                predicate = self._parse_path()
+            while True:
+                obj = self._parse_var_or_term()
+                patterns.append(self._make_pattern(subject, predicate, obj))
+                if not self._accept_op(","):
+                    break
+            if not self._accept_op(";"):
+                break
+            token = self._peek()
+            if token is None or (token.kind == "op" and token.value in (".", "}")):
+                break
+
+    def _make_pattern(self, subject, predicate, obj) -> GraphPatternNode:
+        if isinstance(predicate, Variable):
+            return TriplePatternNode(Triple(subject, predicate, obj))
+        if isinstance(predicate, LinkPath):
+            return TriplePatternNode(Triple(subject, predicate.iri, obj))
+        return PathPattern(subject, predicate, obj)
+
+    # ------------------------------------------------------------------
+    # property paths
+    # ------------------------------------------------------------------
+    def _parse_path(self) -> PropertyPath:
+        return self._parse_path_alternative()
+
+    def _parse_path_alternative(self) -> PropertyPath:
+        left = self._parse_path_sequence()
+        while self._accept_op("|"):
+            right = self._parse_path_sequence()
+            left = AlternativePath(left, right)
+        return left
+
+    def _parse_path_sequence(self) -> PropertyPath:
+        left = self._parse_path_elt_or_inverse()
+        while self._accept_op("/"):
+            right = self._parse_path_elt_or_inverse()
+            left = SequencePath(left, right)
+        return left
+
+    def _parse_path_elt_or_inverse(self) -> PropertyPath:
+        if self._accept_op("^"):
+            return InversePath(self._parse_path_elt())
+        return self._parse_path_elt()
+
+    def _parse_path_elt(self) -> PropertyPath:
+        primary = self._parse_path_primary()
+        return self._parse_path_mod(primary)
+
+    def _parse_path_mod(self, path: PropertyPath) -> PropertyPath:
+        if self._accept_op("?"):
+            return ZeroOrOnePath(path)
+        if self._accept_op("*"):
+            return ZeroOrMorePath(path)
+        if self._accept_op("+"):
+            return OneOrMorePath(path)
+        if self._at_op("{"):
+            # Bounded repetition {n}, {n,}, {n,m}.
+            self._next()
+            minimum = self._parse_integer()
+            maximum: Optional[int] = minimum
+            if self._accept_op(","):
+                if self._at_op("}"):
+                    maximum = None
+                else:
+                    maximum = self._parse_integer()
+            self._expect_op("}")
+            return RepeatPath(path, minimum, maximum)
+        return path
+
+    def _parse_path_primary(self) -> PropertyPath:
+        token = self._peek()
+        if token is None:
+            raise SparqlSyntaxError("unexpected end of property path")
+        if token.kind == "op" and token.value == "(":
+            self._next()
+            inner = self._parse_path()
+            self._expect_op(")")
+            return inner
+        if token.kind == "op" and token.value == "!":
+            self._next()
+            return self._parse_negated_property_set()
+        if token.kind == "keyword" and token.value == "A":
+            self._next()
+            return LinkPath(RDF.type)
+        if token.kind in ("iri", "pname"):
+            return LinkPath(self._parse_iri())
+        raise SparqlSyntaxError(f"unexpected token in property path: {token}")
+
+    def _parse_negated_property_set(self) -> NegatedPropertySet:
+        forward: List[IRI] = []
+        inverse: List[IRI] = []
+
+        def parse_one() -> None:
+            if self._accept_op("^"):
+                inverse.append(self._parse_iri_or_a())
+            else:
+                forward.append(self._parse_iri_or_a())
+
+        if self._accept_op("("):
+            parse_one()
+            while self._accept_op("|"):
+                parse_one()
+            self._expect_op(")")
+        else:
+            parse_one()
+        return NegatedPropertySet(tuple(forward), tuple(inverse))
+
+    def _parse_iri_or_a(self) -> IRI:
+        if self._accept_keyword("A"):
+            return RDF.type
+        return self._parse_iri()
+
+    # ------------------------------------------------------------------
+    # terms
+    # ------------------------------------------------------------------
+    def _parse_iri(self) -> IRI:
+        token = self._next()
+        if token.kind == "iri":
+            return IRI(token.value[1:-1])
+        if token.kind == "pname":
+            return self.prefixes.expand(token.value)
+        raise SparqlSyntaxError(f"expected IRI, found {token}")
+
+    def _parse_var_or_iri(self) -> Union[Variable, IRI]:
+        token = self._peek()
+        if token is not None and token.kind == "var":
+            self._next()
+            return Variable(token.value[1:])
+        return self._parse_iri()
+
+    def _parse_var_or_term(self):
+        token = self._peek()
+        if token is None:
+            raise SparqlSyntaxError("unexpected end of triples block")
+        if token.kind == "var":
+            self._next()
+            return Variable(token.value[1:])
+        return self._parse_graph_term()
+
+    def _parse_graph_term(self) -> Term:
+        token = self._next()
+        if token.kind == "iri":
+            return IRI(token.value[1:-1])
+        if token.kind == "pname":
+            return self.prefixes.expand(token.value)
+        if token.kind == "bnode":
+            return BlankNode(token.value[2:])
+        if token.kind == "op" and token.value == "[":
+            self._expect_op("]")
+            self._bnode_counter += 1
+            return BlankNode(f"anon{self._bnode_counter}")
+        if token.kind == "string":
+            return self._make_literal(token.value)
+        if token.kind == "number":
+            return self._make_numeric_literal(token.value)
+        if token.kind == "keyword" and token.value in ("TRUE", "FALSE"):
+            return Literal(token.value.lower(), XSD_BOOLEAN)
+        raise SparqlSyntaxError(f"expected RDF term, found {token}")
+
+    def _make_literal(self, raw: str) -> Literal:
+        match = re.match(
+            r'^(?P<quote>"""|\'\'\'|"|\')(?P<body>.*?)(?P=quote)'
+            r"(?:@(?P<lang>[a-zA-Z][a-zA-Z0-9\-]*)|\^\^(?P<dt>\S+))?$",
+            raw,
+            re.DOTALL,
+        )
+        if match is None:
+            raise SparqlSyntaxError(f"malformed literal {raw!r}")
+        body = (
+            match.group("body")
+            .replace('\\"', '"')
+            .replace("\\'", "'")
+            .replace("\\n", "\n")
+            .replace("\\t", "\t")
+            .replace("\\\\", "\\")
+        )
+        language = match.group("lang")
+        datatype_token = match.group("dt")
+        datatype: Optional[IRI] = None
+        if datatype_token:
+            if datatype_token.startswith("<"):
+                datatype = IRI(datatype_token[1:-1])
+            else:
+                datatype = self.prefixes.expand(datatype_token)
+        return Literal(body, datatype, language)
+
+    def _make_numeric_literal(self, raw: str) -> Literal:
+        if "." in raw or "e" in raw.lower():
+            datatype = XSD_DOUBLE if "e" in raw.lower() else XSD_DECIMAL
+            return Literal(raw, datatype)
+        return Literal(raw, XSD_INTEGER)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def _parse_constraint(self) -> Expression:
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.value == "(":
+            self._next()
+            expression = self._parse_expression()
+            self._expect_op(")")
+            return expression
+        # Built-in call without parentheses around the whole constraint,
+        # e.g. FILTER regex(?x, "foo").
+        return self._parse_primary_expression()
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or_expression()
+
+    def _parse_or_expression(self) -> Expression:
+        left = self._parse_and_expression()
+        while self._accept_op("||"):
+            right = self._parse_and_expression()
+            left = Or(left, right)
+        return left
+
+    def _parse_and_expression(self) -> Expression:
+        left = self._parse_relational_expression()
+        while self._accept_op("&&"):
+            right = self._parse_relational_expression()
+            left = And(left, right)
+        return left
+
+    def _parse_relational_expression(self) -> Expression:
+        left = self._parse_additive_expression()
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.value in (
+            "=", "!=", "<", "<=", ">", ">=",
+        ):
+            operator = self._next().value
+            right = self._parse_additive_expression()
+            return Comparison(operator, left, right)
+        if self._at_keyword("IN"):
+            self._next()
+            options = self._parse_expression_list()
+            return InExpr(left, options, negated=False)
+        if self._at_keyword("NOT"):
+            self._next()
+            self._expect_keyword("IN")
+            options = self._parse_expression_list()
+            return InExpr(left, options, negated=True)
+        return left
+
+    def _parse_expression_list(self) -> Tuple[Expression, ...]:
+        self._expect_op("(")
+        options: List[Expression] = []
+        if not self._at_op(")"):
+            options.append(self._parse_expression())
+            while self._accept_op(","):
+                options.append(self._parse_expression())
+        self._expect_op(")")
+        return tuple(options)
+
+    def _parse_additive_expression(self) -> Expression:
+        left = self._parse_multiplicative_expression()
+        while True:
+            if self._accept_op("+"):
+                left = Arithmetic("+", left, self._parse_multiplicative_expression())
+            elif self._accept_op("-"):
+                left = Arithmetic("-", left, self._parse_multiplicative_expression())
+            else:
+                break
+        return left
+
+    def _parse_multiplicative_expression(self) -> Expression:
+        left = self._parse_unary_expression()
+        while True:
+            if self._accept_op("*"):
+                left = Arithmetic("*", left, self._parse_unary_expression())
+            elif self._accept_op("/"):
+                left = Arithmetic("/", left, self._parse_unary_expression())
+            else:
+                break
+        return left
+
+    def _parse_unary_expression(self) -> Expression:
+        if self._accept_op("!"):
+            return Not(self._parse_unary_expression())
+        if self._accept_op("-"):
+            return UnaryMinus(self._parse_unary_expression())
+        if self._accept_op("+"):
+            return self._parse_unary_expression()
+        return self._parse_primary_expression()
+
+    def _parse_primary_expression(self) -> Expression:
+        token = self._peek()
+        if token is None:
+            raise SparqlSyntaxError("unexpected end of expression")
+        if token.kind == "op" and token.value == "(":
+            self._next()
+            expression = self._parse_expression()
+            self._expect_op(")")
+            return expression
+        if token.kind == "var":
+            self._next()
+            return VariableExpr(Variable(token.value[1:]))
+        if token.kind == "funcname" and token.value in BUILTIN_FUNCTIONS:
+            self._next()
+            arguments = self._parse_call_arguments()
+            return FunctionCall(token.value, arguments)
+        if token.kind == "keyword" and token.value in _AGGREGATES:
+            self._next()
+            return self._parse_aggregate(token.value)
+        if token.kind == "keyword" and token.value in ("TRUE", "FALSE"):
+            self._next()
+            return TermExpr(Literal(token.value.lower(), XSD_BOOLEAN))
+        if token.kind in ("iri", "pname", "string", "number", "bnode"):
+            return TermExpr(self._parse_graph_term())
+        if token.kind == "funcname":
+            # Unknown function name: treat as an error to surface typos early.
+            raise SparqlSyntaxError(f"unknown function {token.value}")
+        raise SparqlSyntaxError(f"unexpected token in expression: {token}")
+
+    def _parse_call_arguments(self) -> Tuple[Expression, ...]:
+        self._expect_op("(")
+        arguments: List[Expression] = []
+        if not self._at_op(")"):
+            arguments.append(self._parse_expression())
+            while self._accept_op(","):
+                arguments.append(self._parse_expression())
+        self._expect_op(")")
+        return tuple(arguments)
+
+    def _parse_aggregate(self, operation: str) -> Aggregate:
+        self._expect_op("(")
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        if self._accept_op("*"):
+            argument = None
+        else:
+            argument = self._parse_expression()
+        self._expect_op(")")
+        return Aggregate(operation, argument, distinct)
+
+
+def parse_query(text: str) -> Query:
+    """Parse a SPARQL query string into an algebra :class:`Query` tree."""
+    return _Parser(text).parse()

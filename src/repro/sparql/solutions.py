@@ -1,0 +1,165 @@
+"""Solution mappings and solution sequences.
+
+A *solution mapping* (binding) assigns RDF terms to a subset of the query
+variables.  The result of evaluating a graph pattern is a *multiset* of
+solution mappings; after solution modifiers are applied it becomes a
+sequence.  :class:`Binding` is an immutable, hashable mapping so bindings
+can be counted, deduplicated and compared across engines.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.rdf.terms import Term, Variable, term_sort_key
+
+
+class Binding:
+    """An immutable solution mapping from variables to RDF terms.
+
+    Unbound variables are simply absent; the SPARQL compatibility relation
+    and OPTIONAL semantics are expressed in terms of the *domain* of the
+    mapping.
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, mapping: Optional[Dict[Variable, Term]] = None) -> None:
+        items = tuple(sorted((mapping or {}).items(), key=lambda kv: kv[0].name))
+        self._items: Tuple[Tuple[Variable, Term], ...] = items
+        self._hash = hash(items)
+
+    # -- mapping protocol ----------------------------------------------
+    def __getitem__(self, variable: Variable) -> Term:
+        for var, term in self._items:
+            if var == variable:
+                return term
+        raise KeyError(variable)
+
+    def get(self, variable: Variable, default: Optional[Term] = None) -> Optional[Term]:
+        for var, term in self._items:
+            if var == variable:
+                return term
+        return default
+
+    def __contains__(self, variable: Variable) -> bool:
+        return any(var == variable for var, _ in self._items)
+
+    def __iter__(self) -> Iterator[Variable]:
+        return (var for var, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def items(self) -> Tuple[Tuple[Variable, Term], ...]:
+        return self._items
+
+    def variables(self) -> set:
+        """Return the domain of the mapping."""
+        return {var for var, _ in self._items}
+
+    def as_dict(self) -> Dict[Variable, Term]:
+        return dict(self._items)
+
+    # -- value semantics -------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Binding) and other._items == self._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{var}={term!r}" for var, term in self._items)
+        return f"{{{inner}}}"
+
+    # -- SPARQL operations -------------------------------------------------
+    def is_compatible(self, other: "Binding") -> bool:
+        """Two mappings are compatible when they agree on shared variables."""
+        if len(self._items) > len(other._items):
+            return other.is_compatible(self)
+        for var, term in self._items:
+            other_term = other.get(var)
+            if other_term is not None and other_term != term:
+                return False
+        return True
+
+    def merge(self, other: "Binding") -> "Binding":
+        """Union of two compatible mappings."""
+        merged = dict(other._items)
+        merged.update(dict(self._items))
+        return Binding(merged)
+
+    def project(self, variables: Iterable[Variable]) -> "Binding":
+        """Restrict the mapping to ``variables``."""
+        wanted = set(variables)
+        return Binding({var: term for var, term in self._items if var in wanted})
+
+    def extend(self, variable: Variable, term: Term) -> "Binding":
+        """Return a new mapping with one extra (or replaced) assignment."""
+        mapping = dict(self._items)
+        mapping[variable] = term
+        return Binding(mapping)
+
+
+EMPTY_BINDING = Binding()
+
+
+class SolutionSequence:
+    """An ordered multiset of solution mappings plus the projection variables.
+
+    The class is the common result type of every engine in this repository
+    so the compliance framework can compare answers across systems.
+    """
+
+    def __init__(
+        self,
+        variables: Iterable[Variable],
+        bindings: Iterable[Binding],
+    ) -> None:
+        self.variables: List[Variable] = list(variables)
+        self.bindings: List[Binding] = list(bindings)
+
+    def __len__(self) -> int:
+        return len(self.bindings)
+
+    def __iter__(self) -> Iterator[Binding]:
+        return iter(self.bindings)
+
+    def __repr__(self) -> str:
+        return f"SolutionSequence({len(self.bindings)} rows, vars={self.variables})"
+
+    def __eq__(self, other: object) -> bool:
+        """Bag equality: same multiset of rows (order-insensitive)."""
+        if not isinstance(other, SolutionSequence):
+            return NotImplemented
+        return Counter(self.bindings) == Counter(other.bindings)
+
+    def counter(self) -> Counter:
+        """Return the multiset view of the rows."""
+        return Counter(self.bindings)
+
+    def distinct(self) -> "SolutionSequence":
+        """Return a copy with duplicate rows removed (first occurrence kept)."""
+        seen = set()
+        unique: List[Binding] = []
+        for binding in self.bindings:
+            if binding not in seen:
+                seen.add(binding)
+                unique.append(binding)
+        return SolutionSequence(self.variables, unique)
+
+    def rows(self) -> List[Tuple[Optional[Term], ...]]:
+        """Return rows as tuples aligned with ``self.variables``."""
+        return [
+            tuple(binding.get(var) for var in self.variables)
+            for binding in self.bindings
+        ]
+
+    def sorted_rows(self) -> List[Tuple[Optional[Term], ...]]:
+        """Rows in a deterministic order (useful for tests and reports)."""
+        return sorted(self.rows(), key=lambda row: [term_sort_key(t) for t in row])
+
+    def to_set(self) -> set:
+        """Return the set of rows (ignoring duplicates)."""
+        return set(self.rows())

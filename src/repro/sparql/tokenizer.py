@@ -1,0 +1,93 @@
+"""Tokenizer for SPARQL 1.1 query strings."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class SparqlSyntaxError(ValueError):
+    """Raised by the tokenizer / parser on malformed queries."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its kind, text and source position."""
+
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+#: Keywords recognised case-insensitively by the parser.
+KEYWORDS = {
+    "SELECT", "ASK", "CONSTRUCT", "DESCRIBE", "WHERE", "FROM", "NAMED",
+    "PREFIX", "BASE", "DISTINCT", "REDUCED", "OPTIONAL", "UNION", "MINUS",
+    "FILTER", "GRAPH", "BIND", "VALUES", "AS", "GROUP", "BY", "HAVING",
+    "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "COUNT", "SUM", "MIN", "MAX",
+    "AVG", "SAMPLE", "NOT", "IN", "EXISTS", "A", "TRUE", "FALSE", "UNDEF",
+    "SERVICE", "SILENT",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<ws>\s+)
+  | (?P<iri><[^<>"{}|^`\\\s]*>)
+  | (?P<string>"""
+    r'"""(?:[^"\\]|\\.|"(?!""))*"""'
+    r"""|'''(?:[^'\\]|\\.|'(?!''))*'''"""
+    r"""|"(?:[^"\\\n]|\\.)*"|'(?:[^'\\\n]|\\.)*')
+    (?P<string_suffix>@[a-zA-Z][a-zA-Z0-9\-]*|\^\^(?:<[^<>\s]+>|[A-Za-z_][\w\-\.]*:[\w\-\.%]*))?
+  | (?P<var>[?$][A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>[+-]?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?))
+  | (?P<bnode>_:[A-Za-z0-9][A-Za-z0-9_\-\.]*)
+  | (?P<pname>[A-Za-z_][\w\-\.]*:[\w\-\.%]*|:[\w\-\.%]+)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>\|\||&&|\^\^|!=|<=|>=|[{}()\[\].;,|/^?*+!=<>\-])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split a SPARQL query string into tokens.
+
+    String literals keep their language tag / datatype suffix attached so
+    the parser can rebuild the full literal.  Words matching a SPARQL
+    keyword are emitted as ``keyword`` tokens (upper-cased value); other
+    bare words are an error except ``a`` which is handled as a keyword.
+    """
+    tokens: List[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SparqlSyntaxError(
+                f"unexpected character at offset {position}: {text[position:position + 20]!r}"
+            )
+        kind = match.lastgroup
+        value = match.group()
+        start = position
+        position = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        if kind in ("string", "string_suffix"):
+            suffix = match.group("string_suffix") or ""
+            tokens.append(Token("string", match.group("string") + suffix, start))
+            continue
+        if kind == "word":
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, start))
+            else:
+                # Bare words can appear as function names (e.g. REGEX, BOUND).
+                tokens.append(Token("funcname", upper, start))
+            continue
+        tokens.append(Token(kind, value, start))
+    return tokens

@@ -1,0 +1,102 @@
+"""Benchmark feature analysis (Table 2 of the paper).
+
+The paper analyses which SPARQL features each benchmark covers, as the
+percentage of queries using the feature (following Saleem et al. 2019).
+The reproduction computes the same profile for every workload it
+generates, and keeps the paper's reported numbers for all twelve analysed
+benchmarks as reference constants so the Table 2 harness can print them
+side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from repro.sparql.algebra import pattern_features
+from repro.sparql.parser import SparqlSyntaxError, parse_query
+from repro.workloads.sp2bench import BenchmarkQuery
+
+#: The Table 2 column order: feature key -> human readable abbreviation.
+TABLE2_COLUMNS = [
+    ("DISTINCT", "DIST"),
+    ("FILTER", "FILT"),
+    ("REGEX", "REG"),
+    ("OPTIONAL", "OPT"),
+    ("UNION", "UN"),
+    ("GRAPH", "GRA"),
+    ("PathSequence", "PSeq"),
+    ("PathAlternative", "PAlt"),
+    ("GROUP BY", "GRO"),
+]
+
+#: Feature coverage of the benchmarks analysed in the paper (Table 2),
+#: in percent of queries.  Used as the reference column of the report.
+PAPER_TABLE2: Dict[str, Dict[str, float]] = {
+    "Bowlogna": {"DIST": 5.9, "FILT": 41.2, "REG": 11.8, "OPT": 0.0, "UN": 0.0,
+                 "GRA": 0.0, "PSeq": 0.0, "PAlt": 0.0, "GRO": 76.5},
+    "TrainBench": {"DIST": 0.0, "FILT": 41.7, "REG": 0.0, "OPT": 0.0, "UN": 0.0,
+                   "GRA": 0.0, "PSeq": 0.0, "PAlt": 0.0, "GRO": 0.0},
+    "BSBM": {"DIST": 25.0, "FILT": 37.5, "REG": 0.0, "OPT": 54.2, "UN": 8.3,
+             "GRA": 0.0, "PSeq": 0.0, "PAlt": 0.0, "GRO": 0.0},
+    "SP2Bench": {"DIST": 35.3, "FILT": 58.8, "REG": 0.0, "OPT": 17.6, "UN": 17.6,
+                 "GRA": 0.0, "PSeq": 0.0, "PAlt": 0.0, "GRO": 0.0},
+    "WatDiv": {"DIST": 0.0, "FILT": 0.0, "REG": 0.0, "OPT": 0.0, "UN": 0.0,
+               "GRA": 0.0, "PSeq": 0.0, "PAlt": 0.0, "GRO": 0.0},
+    "SNB-BI": {"DIST": 0.0, "FILT": 66.7, "REG": 0.0, "OPT": 45.8, "UN": 20.8,
+               "GRA": 0.0, "PSeq": 16.7, "PAlt": 0.0, "GRO": 100.0},
+    "SNB-INT": {"DIST": 0.0, "FILT": 47.4, "REG": 0.0, "OPT": 31.6, "UN": 15.8,
+                "GRA": 0.0, "PSeq": 5.3, "PAlt": 10.5, "GRO": 42.1},
+    "FEASIBLE (D)": {"DIST": 56.0, "FILT": 58.0, "REG": 14.0, "OPT": 28.0, "UN": 40.0,
+                     "GRA": 0.0, "PSeq": 0.0, "PAlt": 0.0, "GRO": 0.0},
+    "FEASIBLE (S)": {"DIST": 56.0, "FILT": 27.0, "REG": 9.0, "OPT": 32.0, "UN": 34.0,
+                     "GRA": 10.0, "PSeq": 0.0, "PAlt": 0.0, "GRO": 25.0},
+    "Fishmark": {"DIST": 0.0, "FILT": 0.0, "REG": 0.0, "OPT": 9.1, "UN": 0.0,
+                 "GRA": 0.0, "PSeq": 0.0, "PAlt": 0.0, "GRO": 0.0},
+    "DBPSB": {"DIST": 100.0, "FILT": 44.0, "REG": 4.0, "OPT": 32.0, "UN": 36.0,
+              "GRA": 0.0, "PSeq": 0.0, "PAlt": 0.0, "GRO": 0.0},
+    "BioBench": {"DIST": 39.3, "FILT": 32.1, "REG": 14.3, "OPT": 10.7, "UN": 17.9,
+                 "GRA": 0.0, "PSeq": 0.0, "PAlt": 0.0, "GRO": 10.7},
+}
+
+
+@dataclass
+class BenchmarkFeatureProfile:
+    """Feature usage percentages of one benchmark's query set."""
+
+    benchmark: str
+    query_count: int
+    percentages: Dict[str, float] = field(default_factory=dict)
+    unparsed: int = 0
+
+    def as_row(self) -> List[float]:
+        """The profile in Table 2 column order."""
+        return [self.percentages.get(abbrev, 0.0) for _, abbrev in TABLE2_COLUMNS]
+
+
+def analyze_workload_features(
+    benchmark_name: str, queries: Sequence[BenchmarkQuery]
+) -> BenchmarkFeatureProfile:
+    """Compute the per-feature usage percentages of a query workload."""
+    counts: Dict[str, int] = {abbrev: 0 for _, abbrev in TABLE2_COLUMNS}
+    unparsed = 0
+    for query in queries:
+        try:
+            parsed = parse_query(query.text)
+        except SparqlSyntaxError:
+            unparsed += 1
+            continue
+        features = pattern_features(parsed)
+        for feature_key, abbrev in TABLE2_COLUMNS:
+            if feature_key in features:
+                counts[abbrev] += 1
+    total = max(1, len(queries) - unparsed)
+    percentages = {
+        abbrev: round(100.0 * count / total, 1) for abbrev, count in counts.items()
+    }
+    return BenchmarkFeatureProfile(
+        benchmark=benchmark_name,
+        query_count=len(queries),
+        percentages=percentages,
+        unparsed=unparsed,
+    )

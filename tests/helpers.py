@@ -1,0 +1,53 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Union
+
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import Literal, Triple
+from repro.sparql.solutions import SolutionSequence
+
+EX = Namespace("http://ex.org/")
+
+
+def countries_graph() -> Graph:
+    """The bordering-countries example graph from the paper (Section 4.2)."""
+    graph = Graph()
+    graph.add(Triple(EX.spain, EX.borders, EX.france))
+    graph.add(Triple(EX.france, EX.borders, EX.belgium))
+    graph.add(Triple(EX.france, EX.borders, EX.germany))
+    graph.add(Triple(EX.belgium, EX.borders, EX.germany))
+    graph.add(Triple(EX.germany, EX.borders, EX.austria))
+    return graph
+
+
+def directors_graph() -> Graph:
+    """The film-directors example graph from the paper (Section 3.1)."""
+    graph = Graph()
+    graph.add(Triple(EX.glucas, EX.name, Literal("George")))
+    graph.add(Triple(EX.glucas, EX.lastname, Literal("Lucas")))
+    graph.add(Triple(EX.sspielberg, EX.name, Literal("Steven")))
+    return graph
+
+
+def countries_dataset() -> Dataset:
+    return Dataset.from_graph(countries_graph())
+
+
+def directors_dataset() -> Dataset:
+    return Dataset.from_graph(directors_graph())
+
+
+def rows_multiset(result: Union[SolutionSequence, bool]) -> Counter:
+    """Multiset of result rows for order-insensitive comparisons."""
+    if isinstance(result, bool):
+        return Counter([(result,)])
+    return Counter(result.rows())
+
+
+def assert_same_solutions(left, right) -> None:
+    """Assert two engine results are equal as multisets."""
+    assert rows_multiset(left) == rows_multiset(right)

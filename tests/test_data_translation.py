@@ -1,0 +1,78 @@
+"""Tests for the data translation T_D (Appendix A.1)."""
+
+from repro.core.data_translation import (
+    DEFAULT_GRAPH,
+    DataTranslator,
+    NULL,
+    PRED_BNODE,
+    PRED_COMP,
+    PRED_IRI,
+    PRED_LITERAL,
+    PRED_NAMED,
+    PRED_SUBJECT_OR_OBJECT,
+    PRED_TERM,
+    PRED_TRIPLE,
+)
+from repro.datalog.engine import DatalogEngine
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.terms import BlankNode, IRI, Literal, Triple
+
+from tests.helpers import EX, countries_dataset, directors_graph
+
+
+class TestDataTranslation:
+    def test_triple_facts_for_default_graph(self):
+        program = DataTranslator().translate(countries_dataset())
+        triple_facts = [fact for fact in program.facts if fact.predicate == PRED_TRIPLE]
+        assert len(triple_facts) == 5
+        assert all(fact.arguments[3] == DEFAULT_GRAPH for fact in triple_facts)
+
+    def test_term_classification_facts(self):
+        graph = directors_graph()
+        graph.add(Triple(BlankNode("b1"), EX.name, Literal("Anon")))
+        program = DataTranslator().translate(Dataset.from_graph(graph))
+        predicates = {fact.predicate for fact in program.facts}
+        assert {PRED_IRI, PRED_LITERAL, PRED_BNODE} <= predicates
+
+    def test_named_graphs_produce_named_facts(self):
+        dataset = countries_dataset()
+        dataset.add_named_graph(IRI("http://g1"), Graph([Triple(EX.a, EX.p, EX.b)]))
+        program = DataTranslator().translate(dataset)
+        named = [fact for fact in program.facts if fact.predicate == PRED_NAMED]
+        assert len(named) == 1
+        graph_args = {
+            fact.arguments[3].value
+            for fact in program.facts
+            if fact.predicate == PRED_TRIPLE
+        }
+        assert IRI("http://g1") in graph_args
+
+    def test_null_fact_present(self):
+        program = DataTranslator().translate(countries_dataset())
+        null_facts = [fact for fact in program.facts if fact.predicate == "null"]
+        assert len(null_facts) == 1
+        assert null_facts[0].arguments[0] == NULL
+
+    def test_auxiliary_predicates_evaluate(self):
+        """term, comp and subjectOrObject behave per Definitions A.1/A.2/A.17."""
+        program = DataTranslator().translate(countries_dataset())
+        relations = DatalogEngine().evaluate(program)
+        # Every IRI of the graph is a term.
+        assert (EX.spain,) in relations[PRED_TERM]
+        # comp(x, x, x), comp(x, null, x), comp(null, x, x), comp(null, null, null).
+        assert (EX.spain, EX.spain, EX.spain) in relations[PRED_COMP]
+        assert (EX.spain, "null", EX.spain) in relations[PRED_COMP]
+        assert ("null", EX.spain, EX.spain) in relations[PRED_COMP]
+        assert ("null", "null", "null") in relations[PRED_COMP]
+        # subjectOrObject contains subjects and objects but not predicates.
+        subject_or_object = {row[0] for row in relations[PRED_SUBJECT_OR_OBJECT]}
+        assert EX.spain in subject_or_object
+        assert EX.austria in subject_or_object
+        assert EX.borders not in subject_or_object
+
+    def test_comp_count_matches_term_count(self):
+        program = DataTranslator().translate(countries_dataset())
+        relations = DatalogEngine().evaluate(program)
+        term_count = len(relations[PRED_TERM])
+        # 3 comp rows per term (eq, null-left, null-right) + 1 for null-null.
+        assert len(relations[PRED_COMP]) == 3 * term_count + 1

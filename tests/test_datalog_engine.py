@@ -1,0 +1,230 @@
+"""Tests for the Warded Datalog± engine."""
+
+import pytest
+
+from repro.datalog.engine import DatalogEngine, EvaluationLimitExceeded, compare_values
+from repro.datalog.rules import (
+    AggregateRule,
+    AggregateSpec,
+    Assignment,
+    Atom,
+    Comparison,
+    Negation,
+    Program,
+    Rule,
+    SkolemExpr,
+)
+from repro.datalog.stratify import StratificationError, stratify
+from repro.datalog.terms import Const, SkolemTerm, Var
+from repro.rdf.terms import Literal
+
+
+def c(value):
+    return Const(value)
+
+
+X, Y, Z, W = Var("X"), Var("Y"), Var("Z"), Var("W")
+
+
+def edge_program(edges):
+    program = Program()
+    for source, target in edges:
+        program.add_fact(Atom("edge", (c(source), c(target))))
+    return program
+
+
+class TestBasicEvaluation:
+    def test_facts_only(self):
+        program = edge_program([("a", "b")])
+        result = DatalogEngine().evaluate(program)
+        assert result["edge"] == {("a", "b")}
+
+    def test_simple_rule(self):
+        program = edge_program([("a", "b"), ("b", "c")])
+        program.add_rule(Rule(Atom("node", (X,)), (Atom("edge", (X, Y)),)))
+        result = DatalogEngine().evaluate(program)
+        assert result["node"] == {("a",), ("b",)}
+
+    def test_join(self):
+        program = edge_program([("a", "b"), ("b", "c"), ("c", "d")])
+        program.add_rule(
+            Rule(Atom("two_hop", (X, Z)), (Atom("edge", (X, Y)), Atom("edge", (Y, Z))))
+        )
+        result = DatalogEngine().evaluate(program)
+        assert result["two_hop"] == {("a", "c"), ("b", "d")}
+
+    def test_transitive_closure(self):
+        program = edge_program([("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")])
+        program.add_rule(Rule(Atom("tc", (X, Y)), (Atom("edge", (X, Y)),)))
+        program.add_rule(
+            Rule(Atom("tc", (X, Z)), (Atom("edge", (X, Y)), Atom("tc", (Y, Z))))
+        )
+        result = DatalogEngine().evaluate(program)
+        assert len(result["tc"]) == 16  # complete digraph on the 4-cycle
+
+    def test_constants_in_rule_bodies(self):
+        program = edge_program([("a", "b"), ("b", "c")])
+        program.add_rule(
+            Rule(Atom("from_a", (Y,)), (Atom("edge", (c("a"), Y)),))
+        )
+        result = DatalogEngine().evaluate(program)
+        assert result["from_a"] == {("b",)}
+
+    def test_unknown_predicate_in_body_yields_nothing(self):
+        program = edge_program([("a", "b")])
+        program.add_rule(Rule(Atom("out", (X,)), (Atom("missing", (X,)),)))
+        result = DatalogEngine().evaluate(program)
+        assert "out" not in result or result["out"] == set()
+
+
+class TestNegationAndBuiltins:
+    def test_stratified_negation(self):
+        program = edge_program([("a", "b"), ("b", "c")])
+        program.add_rule(Rule(Atom("node", (X,)), (Atom("edge", (X, Y)),)))
+        program.add_rule(Rule(Atom("node", (Y,)), (Atom("edge", (X, Y)),)))
+        program.add_rule(
+            Rule(Atom("sink", (X,)), (Atom("node", (X,)), Negation(Atom("edge", (X, Y)))))
+        )
+        result = DatalogEngine().evaluate(program)
+        assert result["sink"] == {("c",)}
+
+    def test_negation_through_recursion_rejected(self):
+        program = Program()
+        program.add_fact(Atom("p", (c("a"),)))
+        program.add_rule(Rule(Atom("q", (X,)), (Atom("p", (X,)), Negation(Atom("r", (X,))))))
+        program.add_rule(Rule(Atom("r", (X,)), (Atom("q", (X,)),)))
+        with pytest.raises(StratificationError):
+            DatalogEngine().evaluate(program)
+
+    def test_comparison_builtin(self):
+        program = Program()
+        for value in (1, 5, 9):
+            program.add_fact(Atom("val", (c(value),)))
+        program.add_rule(
+            Rule(Atom("big", (X,)), (Atom("val", (X,)), Comparison(">", X, c(4))))
+        )
+        result = DatalogEngine().evaluate(program)
+        assert result["big"] == {(5,), (9,)}
+
+    def test_comparison_on_rdf_literals(self):
+        assert compare_values(">", Literal.from_python(10), Literal.from_python(2))
+        assert compare_values("=", Literal.from_python(2), Literal.from_python(2.0))
+        assert not compare_values("<", Literal.from_python(3), Literal.from_python(1))
+
+    def test_assignment_with_skolem(self):
+        program = edge_program([("a", "b"), ("a", "b")])  # duplicate fact collapses
+        program.add_rule(
+            Rule(
+                Atom("tagged", (Z, X, Y)),
+                (Atom("edge", (X, Y)), Assignment(Z, SkolemExpr("f1", (X, Y)))),
+            )
+        )
+        result = DatalogEngine().evaluate(program)
+        assert result["tagged"] == {(SkolemTerm("f1", ("a", "b")), "a", "b")}
+
+    def test_assignment_constant(self):
+        program = edge_program([("a", "b")])
+        program.add_rule(
+            Rule(Atom("flag", (X, Z)), (Atom("edge", (X, Y)), Assignment(Z, c("yes"))))
+        )
+        result = DatalogEngine().evaluate(program)
+        assert result["flag"] == {("a", "yes")}
+
+
+class TestExistentialsAndAggregates:
+    def test_existential_head_variable_becomes_skolem(self):
+        program = Program()
+        program.add_fact(Atom("person", (c("alice"),)))
+        program.add_rule(
+            Rule(
+                Atom("has_parent", (X, Z)),
+                (Atom("person", (X,)),),
+                existential_variables=(Z,),
+                label="parent",
+            )
+        )
+        result = DatalogEngine().evaluate(program)
+        ((person, parent),) = result["has_parent"]
+        assert person == "alice"
+        assert isinstance(parent, SkolemTerm)
+
+    def test_aggregate_count(self):
+        program = edge_program([("a", "b"), ("a", "c"), ("b", "c")])
+        program.aggregate_rules.append(
+            AggregateRule(
+                head=Atom("degree", (X, W)),
+                body=(Atom("edge", (X, Y)),),
+                group_variables=(X,),
+                aggregates=(AggregateSpec("COUNT", Y, W),),
+            )
+        )
+        result = DatalogEngine().evaluate(program)
+        degrees = {row[0]: row[1].as_python() for row in result["degree"]}
+        assert degrees == {"a": 2, "b": 1}
+
+    def test_aggregate_sum_min_max(self):
+        program = Program()
+        for name, value in [("a", 1), ("a", 4), ("b", 10)]:
+            program.add_fact(Atom("m", (c(name), c(Literal.from_python(value)))))
+        program.aggregate_rules.append(
+            AggregateRule(
+                head=Atom("s", (X, W)),
+                body=(Atom("m", (X, Y)),),
+                group_variables=(X,),
+                aggregates=(AggregateSpec("SUM", Y, W),),
+            )
+        )
+        result = DatalogEngine().evaluate(program)
+        sums = {row[0]: row[1].as_python() for row in result["s"]}
+        assert sums == {"a": 5, "b": 10}
+
+
+class TestLimits:
+    def test_fact_limit(self):
+        program = Program()
+        for index in range(20):
+            program.add_fact(Atom("n", (c(index),)))
+        program.add_rule(
+            Rule(Atom("pair", (X, Y)), (Atom("n", (X,)), Atom("n", (Y,))))
+        )
+        with pytest.raises(EvaluationLimitExceeded):
+            DatalogEngine(max_facts=100).evaluate(program)
+
+    def test_timeout(self):
+        program = Program()
+        for index in range(200):
+            program.add_fact(Atom("n", (c(index),)))
+        program.add_rule(
+            Rule(Atom("pair", (X, Y, Z)), (Atom("n", (X,)), Atom("n", (Y,)), Atom("n", (Z,))))
+        )
+        with pytest.raises(EvaluationLimitExceeded):
+            DatalogEngine(timeout_seconds=0.05).evaluate(program)
+
+
+class TestStratification:
+    def test_strata_ordering(self):
+        program = Program()
+        program.add_fact(Atom("base", (c(1),)))
+        program.add_rule(Rule(Atom("derived", (X,)), (Atom("base", (X,)),)))
+        program.add_rule(
+            Rule(Atom("top", (X,)), (Atom("base", (X,)), Negation(Atom("derived", (X,)))))
+        )
+        strata = stratify(program)
+        stratum_of = {}
+        for index, predicates in enumerate(strata):
+            for predicate in predicates:
+                stratum_of[predicate] = index
+        assert stratum_of["derived"] < stratum_of["top"]
+
+    def test_recursive_predicates_in_same_stratum(self):
+        program = Program()
+        program.add_fact(Atom("e", (c(1), c(2))))
+        program.add_rule(Rule(Atom("tc", (X, Y)), (Atom("e", (X, Y)),)))
+        program.add_rule(Rule(Atom("tc", (X, Z)), (Atom("e", (X, Y)), Atom("tc", (Y, Z)))))
+        strata = stratify(program)
+        for predicates in strata:
+            if "tc" in predicates:
+                assert "tc" in predicates
+                break
+        else:
+            pytest.fail("tc not assigned to any stratum")

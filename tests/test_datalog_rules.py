@@ -1,0 +1,114 @@
+"""Unit tests for Datalog rule / program data structures."""
+
+from repro.datalog.rules import (
+    Assignment,
+    Atom,
+    Comparison,
+    Negation,
+    Program,
+    Rule,
+    SkolemExpr,
+)
+from repro.datalog.terms import Const, SkolemTerm, Var, is_ground, substitute
+
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+A, B = Const("a"), Const("b")
+
+
+class TestTerms:
+    def test_is_ground(self):
+        assert is_ground(A)
+        assert is_ground(SkolemTerm("f", ("a",)))
+        assert not is_ground(X)
+
+    def test_substitute(self):
+        assert substitute(X, {X: A}) == A
+        assert substitute(Y, {X: A}) == Y
+        assert substitute(A, {X: B}) == A
+
+    def test_skolem_terms_are_hashable_values(self):
+        assert SkolemTerm("f", (1, 2)) == SkolemTerm("f", (1, 2))
+        assert len({SkolemTerm("f", (1,)), SkolemTerm("f", (1,))}) == 1
+
+
+class TestAtomsAndRules:
+    def test_atom_variables_and_substitution(self):
+        atom = Atom("p", (X, A, Y))
+        assert atom.variables() == {X, Y}
+        assert atom.substitute({X: A, Y: B}) == Atom("p", (A, A, B))
+        assert atom.substitute({X: A, Y: B}).is_ground()
+
+    def test_rule_accessors(self):
+        rule = Rule(
+            Atom("head", (X, Z)),
+            (
+                Atom("p", (X, Y)),
+                Negation(Atom("q", (Y,))),
+                Comparison(">", Y, Const(3)),
+                Assignment(Z, SkolemExpr("f", (X, Y))),
+            ),
+        )
+        assert {atom.predicate for atom in rule.positive_atoms()} == {"p"}
+        assert {atom.predicate for atom in rule.negated_atoms()} == {"q"}
+        assert rule.body_predicates() == {"p", "q"}
+        assert rule.head_variables() == {X, Z}
+        assert rule.frontier_variables() == {X, Z}
+
+    def test_rule_safety(self):
+        safe = Rule(Atom("h", (X,)), (Atom("p", (X, Y)),))
+        assert safe.is_safe()
+        unsafe_head = Rule(Atom("h", (Z,)), (Atom("p", (X, Y)),))
+        assert not unsafe_head.is_safe()
+        safe_via_assignment = Rule(
+            Atom("h", (Z,)), (Atom("p", (X, Y)), Assignment(Z, SkolemExpr("f", (X,))))
+        )
+        assert safe_via_assignment.is_safe()
+        unsafe_negation = Rule(
+            Atom("h", (X,)), (Atom("p", (X,)), Negation(Atom("q", (Y,))))
+        )
+        assert not unsafe_negation.is_safe()
+        existential = Rule(Atom("h", (X, Z)), (Atom("p", (X,)),), existential_variables=(Z,))
+        assert existential.is_safe()
+
+
+class TestProgram:
+    def test_facts_must_be_ground(self):
+        program = Program()
+        program.add_fact(Atom("p", (A,)))
+        import pytest
+
+        with pytest.raises(ValueError):
+            program.add_fact(Atom("p", (X,)))
+
+    def test_directives(self):
+        program = Program()
+        program.add_directive("output", "ans")
+        program.add_directive("post", "ans", "orderby")
+        program.add_directive("post", "other", "limit(3)")
+        assert program.output_predicates() == ["ans"]
+        assert program.post_directives("ans") == ["orderby"]
+        assert program.post_directives("other") == ["limit(3)"]
+
+    def test_predicates_collects_all(self):
+        program = Program()
+        program.add_fact(Atom("p", (A,)))
+        program.add_rule(Rule(Atom("q", (X,)), (Atom("p", (X,)), Negation(Atom("r", (X,))))))
+        assert program.predicates() == {"p", "q", "r"}
+
+    def test_extend_merges_programs(self):
+        first, second = Program(), Program()
+        first.add_fact(Atom("p", (A,)))
+        second.add_rule(Rule(Atom("q", (X,)), (Atom("p", (X,)),)))
+        second.add_directive("output", "q")
+        first.extend(second)
+        assert len(first.facts) == 1
+        assert len(first.rules) == 1
+        assert first.output_predicates() == ["q"]
+
+    def test_pretty_rendering(self):
+        program = Program()
+        program.add_fact(Atom("p", (A,)))
+        program.add_rule(Rule(Atom("q", (X,)), (Atom("p", (X,)),)))
+        program.add_directive("output", "q")
+        text = program.pretty()
+        assert "p(" in text and ":-" in text and "@output" in text

@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: The quick example scripts (the full evaluation script is exercised by the
+#: benchmark suite instead, since it runs for minutes).
+QUICK_EXAMPLES = [
+    "quickstart.py",
+    "property_paths.py",
+    "ontology_reasoning.py",
+    "bag_semantics.py",
+]
+
+
+@pytest.mark.parametrize("script_name", QUICK_EXAMPLES)
+def test_example_runs(script_name, capsys):
+    script = EXAMPLES_DIR / script_name
+    assert script.exists(), f"missing example {script_name}"
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script_name} produced no output"
+
+
+def test_examples_directory_contains_full_evaluation_script():
+    assert (EXAMPLES_DIR / "run_full_evaluation.py").exists()
+    assert (EXAMPLES_DIR / "compliance_check.py").exists()

@@ -1,0 +1,97 @@
+"""Tests for the experiment harness (timing, reporting, drivers)."""
+
+import time
+
+import pytest
+
+from repro.compliance.compare import ComparisonOutcome
+from repro.harness import experiments
+from repro.harness.report import format_summary, format_table, format_timing_series
+from repro.harness.timing import TimeoutError_, call_with_timeout, time_call
+
+
+class TestTiming:
+    def test_time_call(self):
+        result, elapsed = time_call(lambda: sum(range(1000)))
+        assert result == sum(range(1000))
+        assert elapsed >= 0
+
+    def test_timeout_interrupts_long_call(self):
+        def busy():
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                pass
+            return "done"
+
+        with pytest.raises(TimeoutError_):
+            call_with_timeout(busy, 0.2)
+
+    def test_timeout_returns_fast_result(self):
+        assert call_with_timeout(lambda: 42, 5) == 42
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(line.startswith("|") for line in lines)
+        assert "—" in text
+
+    def test_format_timing_series_marks_failures(self):
+        text = format_timing_series(
+            ["q1", "q2"],
+            {"SparqLog": [0.5, None], "Native": [0.1, 0.2]},
+        )
+        assert "TIMEOUT/ERROR" in text
+        assert "q1" in text and "q2" in text
+
+    def test_format_summary(self):
+        text = format_summary({"triples": 100, "time": 1.5}, title="stats")
+        assert "stats" in text
+        assert "triples" in text
+
+
+class TestExperimentDrivers:
+    CONFIG = experiments.ExperimentConfig(scale=0.04, query_limit=4, timeout_seconds=5)
+
+    def test_table1(self):
+        text = experiments.table1_feature_coverage()
+        assert "OPTIONAL" in text and "ZeroOrMorePath" in text
+
+    def test_table2(self):
+        text = experiments.table2_benchmark_features(self.CONFIG)
+        assert "SP2Bench" in text and "FEASIBLE" in text
+
+    def test_table3_small(self):
+        report, text = experiments.table3_beseppi_compliance(self.CONFIG)
+        assert "Total" in text
+        assert report.correct_count("SparqLog") == 4
+
+    def test_table6(self):
+        text = experiments.table6_benchmark_statistics(self.CONFIG)
+        assert "gMark" in text
+
+    def test_figure7_small(self):
+        series = experiments.figure7_sp2bench_performance(self.CONFIG)
+        assert len(series.query_ids) == 4
+        assert set(series.times) == {"SparqLog", "Native", "VirtuosoLike"}
+        assert series.completed("SparqLog") + series.failures("SparqLog") == 4
+
+    def test_figure8_small(self):
+        series = experiments.figure8_gmark_social(self.CONFIG)
+        summary = experiments.table7_8_gmark_summary(series)
+        assert "SparqLog" in summary
+        assert len(series.query_ids) == 4
+
+    def test_figure10_small(self):
+        series = experiments.figure10_ontology(self.CONFIG)
+        assert set(series.times) == {"SparqLog", "StardogLike"}
+        assert series.render()
+
+    def test_feasible_compliance_small(self):
+        reports, text = experiments.feasible_sp2bench_compliance(self.CONFIG)
+        assert "FEASIBLE" in text
+        for report in reports.values():
+            counts = report.outcome_counts("SparqLog")
+            assert sum(counts.values()) == 4

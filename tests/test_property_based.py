@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import string
+from collections import Counter
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.native import NativeSparqlEngine
+from repro.compliance.compare import results_equal
+from repro.core.engine import SparqLogEngine
+from repro.datalog.engine import DatalogEngine
+from repro.datalog.rules import Atom, Program, Rule
+from repro.datalog.terms import Const, Var
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.terms import IRI, Literal, Triple, Variable
+from repro.sparql.solutions import Binding
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+_NODE_NAMES = [f"n{i}" for i in range(8)]
+_PREDICATE_NAMES = ["p", "q"]
+
+
+def _iri(name: str) -> IRI:
+    return IRI(f"http://ex.org/{name}")
+
+
+edges_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(_NODE_NAMES),
+        st.sampled_from(_PREDICATE_NAMES),
+        st.sampled_from(_NODE_NAMES),
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+simple_literals = st.text(alphabet=string.ascii_letters + string.digits + " ", max_size=12)
+
+
+def graph_from_edges(edges) -> Graph:
+    graph = Graph()
+    for subject, predicate, obj in edges:
+        graph.add(Triple(_iri(subject), _iri(predicate), _iri(obj)))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# RDF graph invariants
+# ----------------------------------------------------------------------
+class TestGraphProperties:
+    @given(edges_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_graph_is_a_set_of_triples(self, edges):
+        graph = graph_from_edges(edges)
+        assert len(graph) == len({(s, p, o) for s, p, o in edges})
+
+    @given(edges_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_pattern_matching_consistent_with_scan(self, edges):
+        graph = graph_from_edges(edges)
+        for predicate in _PREDICATE_NAMES:
+            via_index = set(graph.triples(None, _iri(predicate), None))
+            via_scan = {t for t in graph if t.predicate == _iri(predicate)}
+            assert via_index == via_scan
+
+    @given(edges_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_ntriples_round_trip(self, edges):
+        graph = graph_from_edges(edges)
+        assert set(parse_ntriples(serialize_ntriples(graph))) == set(graph)
+
+    @given(st.lists(simple_literals, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_literal_ntriples_round_trip(self, values):
+        graph = Graph()
+        for index, value in enumerate(values):
+            graph.add(Triple(_iri(f"s{index}"), _iri("p"), Literal(value)))
+        assert set(parse_ntriples(serialize_ntriples(graph))) == set(graph)
+
+
+# ----------------------------------------------------------------------
+# binding algebra invariants
+# ----------------------------------------------------------------------
+binding_strategy = st.dictionaries(
+    st.sampled_from([Variable("a"), Variable("b"), Variable("c")]),
+    st.sampled_from([_iri("x"), _iri("y"), Literal("1")]),
+    max_size=3,
+).map(Binding)
+
+
+class TestBindingProperties:
+    @given(binding_strategy, binding_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_compatibility_is_symmetric(self, left, right):
+        assert left.is_compatible(right) == right.is_compatible(left)
+
+    @given(binding_strategy, binding_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_of_compatible_mappings_extends_both(self, left, right):
+        if left.is_compatible(right):
+            merged = left.merge(right)
+            for variable in left:
+                assert merged[variable] == left[variable]
+            for variable in right:
+                assert merged[variable] == right[variable]
+
+    @given(binding_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_with_empty_is_identity(self, binding):
+        assert binding.merge(Binding()) == binding
+
+    @given(binding_strategy, st.sets(st.sampled_from([Variable("a"), Variable("b")])))
+    @settings(max_examples=50, deadline=None)
+    def test_projection_domain(self, binding, variables):
+        projected = binding.project(variables)
+        assert projected.variables() <= variables
+
+
+# ----------------------------------------------------------------------
+# Datalog engine vs networkx: transitive closure
+# ----------------------------------------------------------------------
+class TestDatalogClosureProperties:
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_transitive_closure_matches_networkx(self, edges):
+        program = Program()
+        for source, target in edges:
+            program.add_fact(Atom("edge", (Const(source), Const(target))))
+        X, Y, Z = Var("X"), Var("Y"), Var("Z")
+        program.add_rule(Rule(Atom("tc", (X, Y)), (Atom("edge", (X, Y)),)))
+        program.add_rule(
+            Rule(Atom("tc", (X, Z)), (Atom("edge", (X, Y)), Atom("tc", (Y, Z))))
+        )
+        relations = DatalogEngine().evaluate(program)
+        digraph = nx.DiGraph()
+        digraph.add_nodes_from(range(10))
+        digraph.add_edges_from(edges)
+        # Expected: (s, t) such that t is reachable from s in one or more steps.
+        expected = set()
+        for source in digraph.nodes:
+            for successor in digraph.successors(source):
+                expected.add((source, successor))
+                for target in nx.descendants(digraph, successor):
+                    expected.add((source, target))
+                expected.add((source, successor))
+        computed = relations.get("tc", set())
+        assert computed == expected
+
+
+# ----------------------------------------------------------------------
+# differential property: SparqLog vs native evaluator on random graphs
+# ----------------------------------------------------------------------
+_PROPERTY_QUERIES = [
+    "PREFIX ex: <http://ex.org/> SELECT ?x ?y WHERE { ?x ex:p ?y }",
+    "PREFIX ex: <http://ex.org/> SELECT ?x ?z WHERE { ?x ex:p ?y . ?y ex:q ?z }",
+    "PREFIX ex: <http://ex.org/> SELECT ?x ?y WHERE { ?x ex:p ?y OPTIONAL { ?y ex:q ?z } }",
+    "PREFIX ex: <http://ex.org/> SELECT DISTINCT ?x ?y WHERE { ?x ex:p+ ?y }",
+    "PREFIX ex: <http://ex.org/> SELECT ?x ?y WHERE { ?x (ex:p|ex:q) ?y }",
+    "PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x ex:p ?y MINUS { ?x ex:q ?y } }",
+]
+
+
+class TestTranslationDifferentialProperties:
+    @given(edges_strategy, st.sampled_from(_PROPERTY_QUERIES))
+    @settings(max_examples=40, deadline=None)
+    def test_sparqlog_matches_reference_on_random_graphs(self, edges, query_text):
+        dataset = Dataset.from_graph(graph_from_edges(edges))
+        native = NativeSparqlEngine(dataset).query(query_text)
+        translated = SparqLogEngine(dataset, timeout_seconds=30).query(query_text)
+        assert results_equal(native, translated)

@@ -1,0 +1,181 @@
+"""Tests for the query translation T_Q (Figure 5 / Appendix A.2–A.4)."""
+
+import pytest
+
+from repro.core.query_translation import (
+    QueryTranslator,
+    TranslationResult,
+    UnsupportedFeatureError,
+)
+from repro.core.engine import SparqLogEngine
+from repro.datalog.rules import Assignment, Atom, FilterCondition, Negation
+from repro.rdf.terms import Literal, Variable
+from repro.sparql.parser import parse_query
+
+from tests.helpers import countries_dataset, directors_dataset
+
+PREFIX = "PREFIX ex: <http://ex.org/>\n"
+
+
+def translate(query_text: str) -> TranslationResult:
+    return QueryTranslator().translate(parse_query(PREFIX + query_text))
+
+
+def sparqlog(dataset):
+    return SparqLogEngine(dataset)
+
+
+class TestTranslationStructure:
+    def test_triple_pattern_produces_single_rule(self):
+        result = translate("SELECT ?x WHERE { ?x ex:p ex:o }")
+        rule_heads = {rule.head.predicate for rule in result.program.rules}
+        assert result.answer_predicate in rule_heads
+        # one rule for the triple pattern, one for the SELECT projection
+        assert len(result.program.rules) == 2
+
+    def test_bag_semantics_adds_id_column_and_skolem(self):
+        result = translate("SELECT ?x WHERE { ?x ex:p ex:o }")
+        assert result.has_id_column
+        assignments = [
+            element
+            for rule in result.program.rules
+            for element in rule.body
+            if isinstance(element, Assignment)
+        ]
+        assert assignments, "expected Skolem tuple-ID assignments under bag semantics"
+
+    def test_distinct_removes_id_column(self):
+        result = translate("SELECT DISTINCT ?x WHERE { ?x ex:p ex:o }")
+        assert not result.has_id_column
+        for rule in result.program.rules:
+            assert not any(isinstance(element, Assignment) for element in rule.body)
+
+    def test_optional_produces_three_rules(self):
+        result = translate(
+            "SELECT ?x ?y WHERE { ?x ex:p ?z OPTIONAL { ?x ex:q ?y } }"
+        )
+        # triple ×2 + ans_opt + join-rule + keep-rule + select = 7 rules
+        negations = [
+            element
+            for rule in result.program.rules
+            for element in rule.body
+            if isinstance(element, Negation)
+        ]
+        assert negations, "OPTIONAL translation requires a negated ans_opt atom"
+
+    def test_filter_becomes_embedded_condition(self):
+        result = translate("SELECT ?x WHERE { ?x ex:p ?y FILTER (?y > 3) }")
+        conditions = [
+            element
+            for rule in result.program.rules
+            for element in rule.body
+            if isinstance(element, FilterCondition)
+        ]
+        assert len(conditions) == 1
+
+    def test_ask_translation(self):
+        result = translate("ASK WHERE { ?x ex:p ex:o }")
+        assert result.form == "ASK"
+        assert result.answer_variables == ()
+
+    def test_answer_variables_sorted_lexicographically(self):
+        result = translate("SELECT ?b ?a WHERE { ?a ex:p ?b }")
+        assert result.answer_variables == (Variable("a"), Variable("b"))
+
+    def test_post_directives_recorded(self):
+        result = translate(
+            "SELECT DISTINCT ?x WHERE { ?x ex:p ?y } ORDER BY ?x LIMIT 3 OFFSET 1"
+        )
+        post = result.program.post_directives(result.answer_predicate)
+        assert "orderby" in post
+        assert "limit(3)" in post
+        assert "offset(1)" in post
+        assert "distinct" in post
+
+    def test_output_directive_points_to_answer_predicate(self):
+        result = translate("SELECT ?x WHERE { ?x ex:p ?y }")
+        assert result.program.output_predicates() == [result.answer_predicate]
+
+
+class TestUnsupportedFeatures:
+    def test_bind_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            translate("SELECT ?x WHERE { ?x ex:p ?y BIND(STR(?y) AS ?s) }")
+
+    def test_values_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            translate("SELECT ?x WHERE { VALUES ?x { ex:a } ?x ex:p ?y }")
+
+    def test_select_expression_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            translate("SELECT (STR(?y) AS ?s) WHERE { ?x ex:p ?y }")
+
+    def test_having_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            translate(
+                "SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x ex:p ?y } "
+                "GROUP BY ?x HAVING (?n > 2)"
+            )
+
+
+class TestEndToEndSemantics:
+    """Figure 2 / Figure 4 style end-to-end checks of the translated programs."""
+
+    def test_paper_example_optional(self):
+        engine = sparqlog(directors_dataset())
+        result = engine.query(
+            PREFIX + "SELECT ?N ?L WHERE { ?X ex:name ?N . OPTIONAL { ?X ex:lastname ?L } } ORDER BY ?N"
+        )
+        rows = result.to_set()
+        assert (Literal("George"), Literal("Lucas")) in rows
+        assert (Literal("Steven"), None) in rows
+
+    def test_paper_example_property_path(self):
+        engine = sparqlog(countries_dataset())
+        result = engine.query(
+            PREFIX + "SELECT ?B WHERE { ?A ex:borders+ ?B . FILTER (?A = ex:spain) }"
+        )
+        values = {row[0].value.rsplit("/", 1)[-1] for row in result.rows()}
+        assert values == {"france", "belgium", "germany", "austria"}
+
+    def test_bag_semantics_duplicates_preserved(self):
+        engine = sparqlog(countries_dataset())
+        result = engine.query(
+            PREFIX + "SELECT ?x WHERE { { ex:spain ex:borders ?x } UNION { ex:spain ex:borders ?x } }"
+        )
+        assert len(result) == 2
+
+    def test_distinct_eliminates_duplicates(self):
+        engine = sparqlog(countries_dataset())
+        result = engine.query(
+            PREFIX
+            + "SELECT DISTINCT ?x WHERE { { ex:spain ex:borders ?x } UNION { ex:spain ex:borders ?x } }"
+        )
+        assert len(result) == 1
+
+    def test_group_by_count(self):
+        engine = sparqlog(countries_dataset())
+        result = engine.query(
+            PREFIX + "SELECT ?a (COUNT(?b) AS ?n) WHERE { ?a ex:borders ?b } GROUP BY ?a"
+        )
+        counts = {row[0]: row[1].as_python() for row in result.rows()}
+        assert counts[EX_FRANCE] == 2
+
+    def test_minus(self):
+        engine = sparqlog(countries_dataset())
+        result = engine.query(
+            PREFIX + "SELECT ?x WHERE { ?x ex:borders ?y MINUS { ?x ex:borders ex:germany } }"
+        )
+        subjects = {row[0] for row in result.rows()}
+        assert EX_FRANCE not in subjects
+        assert len(subjects) >= 2
+
+    def test_ask_true_and_false(self):
+        engine = sparqlog(countries_dataset())
+        assert engine.query(PREFIX + "ASK WHERE { ex:spain ex:borders ex:france }") is True
+        assert engine.query(PREFIX + "ASK WHERE { ex:spain ex:borders ex:austria }") is False
+
+
+from repro.rdf.namespace import Namespace
+
+EX_FRANCE = Namespace("http://ex.org/").france

@@ -1,0 +1,144 @@
+"""Tests for the N-Triples and Turtle parsers / serialisers."""
+
+import pytest
+
+from repro.rdf.namespace import Namespace, PrefixMap
+from repro.rdf.ntriples import (
+    NTriplesParseError,
+    parse_ntriples,
+    serialize_ntriples,
+)
+from repro.rdf.terms import BlankNode, IRI, Literal, Triple, XSD_INTEGER
+from repro.rdf.turtle import TurtleParseError, parse_turtle
+
+
+class TestNTriples:
+    def test_parse_simple_document(self):
+        text = (
+            "<http://ex.org/a> <http://ex.org/p> <http://ex.org/b> .\n"
+            '<http://ex.org/a> <http://ex.org/name> "Alice" .\n'
+        )
+        graph = parse_ntriples(text)
+        assert len(graph) == 2
+        assert Triple(IRI("http://ex.org/a"), IRI("http://ex.org/p"), IRI("http://ex.org/b")) in graph
+
+    def test_parse_typed_and_language_literals(self):
+        text = (
+            '<http://ex.org/a> <http://ex.org/age> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .\n'
+            '<http://ex.org/a> <http://ex.org/label> "chat"@fr .\n'
+        )
+        graph = parse_ntriples(text)
+        objects = {t.object for t in graph}
+        assert Literal("42", XSD_INTEGER) in objects
+        assert Literal("chat", language="fr") in objects
+
+    def test_parse_blank_nodes(self):
+        text = "_:b1 <http://ex.org/p> _:b2 .\n"
+        graph = parse_ntriples(text)
+        triple = next(iter(graph))
+        assert triple.subject == BlankNode("b1")
+        assert triple.object == BlankNode("b2")
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# a comment\n\n<http://a> <http://p> <http://b> .\n"
+        assert len(parse_ntriples(text)) == 1
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(NTriplesParseError):
+            parse_ntriples("<http://a> <http://p> <http://b>\n")
+
+    def test_escaped_characters(self):
+        text = '<http://a> <http://p> "line1\\nline2 \\"quoted\\"" .\n'
+        graph = parse_ntriples(text)
+        literal = next(iter(graph)).object
+        assert literal.lexical == 'line1\nline2 "quoted"'
+
+    def test_round_trip(self):
+        text = (
+            '<http://ex.org/a> <http://ex.org/p> "hello" .\n'
+            "<http://ex.org/a> <http://ex.org/q> <http://ex.org/b> .\n"
+        )
+        graph = parse_ntriples(text)
+        round_tripped = parse_ntriples(serialize_ntriples(graph))
+        assert set(round_tripped) == set(graph)
+
+
+class TestTurtle:
+    def test_prefixes_and_a_keyword(self):
+        text = """
+        @prefix ex: <http://ex.org/> .
+        ex:alice a ex:Person ;
+                 ex:knows ex:bob , ex:carol .
+        """
+        graph = parse_turtle(text)
+        assert len(graph) == 3
+        type_triples = list(
+            graph.triples(IRI("http://ex.org/alice"), None, IRI("http://ex.org/Person"))
+        )
+        assert len(type_triples) == 1
+
+    def test_numeric_and_boolean_shorthand(self):
+        text = """
+        @prefix ex: <http://ex.org/> .
+        ex:a ex:age 42 ; ex:height 1.75 ; ex:active true .
+        """
+        graph = parse_turtle(text)
+        values = {t.object.as_python() for t in graph}
+        assert values == {42, 1.75, True}
+
+    def test_language_and_typed_literals(self):
+        text = """
+        @prefix ex: <http://ex.org/> .
+        @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+        ex:a ex:label "chat"@fr ; ex:count "5"^^xsd:integer .
+        """
+        graph = parse_turtle(text)
+        objects = {t.object for t in graph}
+        assert Literal("chat", language="fr") in objects
+        assert Literal("5", XSD_INTEGER) in objects
+
+    def test_blank_nodes(self):
+        text = "@prefix ex: <http://ex.org/> .\n_:x ex:p _:y ."
+        graph = parse_turtle(text)
+        triple = next(iter(graph))
+        assert isinstance(triple.subject, BlankNode)
+
+    def test_comments(self):
+        text = """
+        @prefix ex: <http://ex.org/> . # prefix declaration
+        ex:a ex:p ex:b . # a triple
+        """
+        assert len(parse_turtle(text)) == 1
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises((TurtleParseError, KeyError)):
+            parse_turtle("foo:a foo:p foo:b .")
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle("@prefix ex: <http://ex.org/> .\nex:a ex:p ex:b")
+
+
+class TestNamespaces:
+    def test_namespace_attribute_and_item_access(self):
+        ex = Namespace("http://ex.org/")
+        assert ex.alice == IRI("http://ex.org/alice")
+        assert ex["bob-smith"] == IRI("http://ex.org/bob-smith")
+        assert ex.contains(IRI("http://ex.org/x"))
+        assert not ex.contains(IRI("http://other.org/x"))
+
+    def test_prefix_map_expand_and_compact(self):
+        prefixes = PrefixMap({"ex": "http://ex.org/"})
+        assert prefixes.expand("ex:alice") == IRI("http://ex.org/alice")
+        assert prefixes.compact(IRI("http://ex.org/alice")) == "ex:alice"
+        assert prefixes.compact(IRI("http://other.org/x")) == "<http://other.org/x>"
+
+    def test_prefix_map_unknown_prefix(self):
+        with pytest.raises(KeyError):
+            PrefixMap().expand("nope:a")
+
+    def test_prefix_map_copy_is_independent(self):
+        original = PrefixMap({"ex": "http://ex.org/"})
+        clone = original.copy()
+        clone.bind("foo", "http://foo.org/")
+        assert "foo" not in original

@@ -1,0 +1,106 @@
+"""Unit tests for the RDF term model."""
+
+import pytest
+
+from repro.rdf.terms import (
+    BlankNode,
+    IRI,
+    Literal,
+    RDF,
+    Triple,
+    Variable,
+    XSD,
+    XSD_BOOLEAN,
+    XSD_INTEGER,
+    XSD_STRING,
+    term_sort_key,
+)
+
+
+class TestIRI:
+    def test_equality_by_value(self):
+        assert IRI("http://ex.org/a") == IRI("http://ex.org/a")
+        assert IRI("http://ex.org/a") != IRI("http://ex.org/b")
+
+    def test_hashable(self):
+        assert len({IRI("http://ex.org/a"), IRI("http://ex.org/a")}) == 1
+
+    def test_n3_serialisation(self):
+        assert IRI("http://ex.org/a").n3() == "<http://ex.org/a>"
+
+    def test_namespace_constants(self):
+        assert RDF.type.value.endswith("#type")
+        assert XSD.integer.value.endswith("#integer")
+
+
+class TestLiteral:
+    def test_plain_literal_defaults_to_no_datatype(self):
+        literal = Literal("hello")
+        assert literal.datatype is None
+        assert literal.effective_datatype == XSD_STRING
+
+    def test_language_tag_forces_langstring_datatype(self):
+        literal = Literal("bonjour", language="fr")
+        assert literal.language == "fr"
+        assert literal.effective_datatype.value.endswith("#langString")
+
+    def test_numeric_conversion(self):
+        assert Literal("42", XSD_INTEGER).as_python() == 42
+        assert Literal("3.5", IRI("http://www.w3.org/2001/XMLSchema#double")).as_python() == 3.5
+
+    def test_boolean_conversion(self):
+        assert Literal("true", XSD_BOOLEAN).as_python() is True
+        assert Literal("false", XSD_BOOLEAN).as_python() is False
+
+    def test_from_python_round_trip(self):
+        assert Literal.from_python(7).as_python() == 7
+        assert Literal.from_python(2.5).as_python() == 2.5
+        assert Literal.from_python(True).as_python() is True
+        assert Literal.from_python("x").lexical == "x"
+
+    def test_is_numeric(self):
+        assert Literal("1", XSD_INTEGER).is_numeric()
+        assert not Literal("1").is_numeric()
+
+    def test_n3_escapes_quotes_and_newlines(self):
+        literal = Literal('say "hi"\n')
+        assert '\\"' in literal.n3()
+        assert "\\n" in literal.n3()
+
+    def test_typed_literal_n3_includes_datatype(self):
+        assert "^^" in Literal("5", XSD_INTEGER).n3()
+
+    def test_malformed_numeric_falls_back_to_lexical(self):
+        assert Literal("not-a-number", XSD_INTEGER).as_python() == "not-a-number"
+
+
+class TestTriple:
+    def test_iteration_order(self):
+        triple = Triple(IRI("s"), IRI("p"), IRI("o"))
+        assert list(triple) == [IRI("s"), IRI("p"), IRI("o")]
+
+    def test_is_ground(self):
+        assert Triple(IRI("s"), IRI("p"), IRI("o")).is_ground()
+        assert not Triple(Variable("s"), IRI("p"), IRI("o")).is_ground()
+
+    def test_variables(self):
+        triple = Triple(Variable("s"), IRI("p"), Variable("o"))
+        assert triple.variables() == {Variable("s"), Variable("o")}
+
+
+class TestTermSortKey:
+    def test_blank_nodes_sort_before_iris_before_literals(self):
+        keys = [
+            term_sort_key(BlankNode("b")),
+            term_sort_key(IRI("http://a")),
+            term_sort_key(Literal("x")),
+        ]
+        assert keys == sorted(keys)
+
+    def test_numeric_literals_sort_numerically(self):
+        two = term_sort_key(Literal("2", XSD_INTEGER))
+        ten = term_sort_key(Literal("10", XSD_INTEGER))
+        assert two < ten
+
+    def test_none_sorts_first(self):
+        assert term_sort_key(None) < term_sort_key(BlankNode("b"))

@@ -1,0 +1,194 @@
+"""Tests for the reference SPARQL evaluator (bag semantics, W3C behaviour)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.terms import IRI, Literal, Triple
+from repro.sparql.evaluator import SparqlEvaluator
+from repro.sparql.parser import parse_query
+
+from tests.helpers import EX, countries_dataset, directors_dataset
+
+PREFIX = "PREFIX ex: <http://ex.org/>\n"
+
+
+def run(dataset, query_text):
+    return SparqlEvaluator(dataset).evaluate(parse_query(PREFIX + query_text))
+
+
+class TestBasicGraphPatterns:
+    def test_single_triple_pattern(self):
+        result = run(countries_dataset(), "SELECT ?x WHERE { ex:spain ex:borders ?x }")
+        assert result.to_set() == {(EX.france,)}
+
+    def test_join_over_shared_variable(self):
+        result = run(
+            countries_dataset(),
+            "SELECT ?a ?c WHERE { ?a ex:borders ?b . ?b ex:borders ?c }",
+        )
+        assert (EX.spain, EX.belgium) in result.to_set()
+        assert (EX.spain, EX.germany) in result.to_set()
+
+    def test_same_variable_twice_in_triple(self):
+        graph = Graph([Triple(EX.a, EX.p, EX.a), Triple(EX.a, EX.p, EX.b)])
+        result = run(Dataset.from_graph(graph), "SELECT ?x WHERE { ?x ex:p ?x }")
+        assert result.to_set() == {(EX.a,)}
+
+    def test_empty_pattern_yields_one_row(self):
+        result = run(countries_dataset(), "SELECT * WHERE { }")
+        assert len(result) == 1
+
+    def test_bag_semantics_preserves_duplicates(self):
+        # ?x bound twice through different journals produces duplicate rows.
+        result = run(
+            directors_dataset(),
+            "SELECT ?n WHERE { ?x ex:name ?n . ?y ex:name ?n }",
+        )
+        # George and Steven each join with themselves only -> 2 rows.
+        assert len(result) == 2
+
+
+class TestOptionalUnionMinus:
+    def test_optional_keeps_unmatched_left_rows(self):
+        result = run(
+            directors_dataset(),
+            "SELECT ?n ?l WHERE { ?x ex:name ?n OPTIONAL { ?x ex:lastname ?l } }",
+        )
+        rows = result.to_set()
+        assert (Literal("George"), Literal("Lucas")) in rows
+        assert (Literal("Steven"), None) in rows
+
+    def test_optional_filter_scoping(self):
+        # The filter in the OPTIONAL refers to the outer variable; rows whose
+        # extension fails the filter keep the left binding with ?l unbound.
+        result = run(
+            directors_dataset(),
+            'SELECT ?n ?l WHERE { ?x ex:name ?n OPTIONAL { ?x ex:lastname ?l FILTER (?n = "Nobody") } }',
+        )
+        assert result.to_set() == {
+            (Literal("George"), None),
+            (Literal("Steven"), None),
+        }
+
+    def test_union_concatenates_bags(self):
+        result = run(
+            countries_dataset(),
+            "SELECT ?x WHERE { { ex:spain ex:borders ?x } UNION { ex:spain ex:borders ?x } }",
+        )
+        assert len(result) == 2  # duplicates preserved
+
+    def test_union_with_disjoint_variables(self):
+        result = run(
+            directors_dataset(),
+            "SELECT ?n ?l WHERE { { ?x ex:name ?n } UNION { ?x ex:lastname ?l } }",
+        )
+        rows = result.to_set()
+        assert (Literal("George"), None) in rows
+        assert (None, Literal("Lucas")) in rows
+
+    def test_minus_removes_matching_rows(self):
+        result = run(
+            countries_dataset(),
+            "SELECT ?x WHERE { ?x ex:borders ?y MINUS { ?x ex:borders ex:germany } }",
+        )
+        assert EX.france not in {row[0] for row in result.rows()}
+        assert EX.spain in {row[0] for row in result.rows()}
+
+    def test_minus_with_disjoint_domains_removes_nothing(self):
+        result = run(
+            countries_dataset(),
+            "SELECT ?x WHERE { ?x ex:borders ?y MINUS { ?a ex:nothing ?b } }",
+        )
+        assert len(result) == 5
+
+
+class TestFiltersAndModifiers:
+    def test_filter_equality(self):
+        result = run(
+            countries_dataset(),
+            "SELECT ?b WHERE { ?a ex:borders ?b FILTER (?a = ex:france) }",
+        )
+        assert result.to_set() == {(EX.belgium,), (EX.germany,)}
+
+    def test_filter_regex(self):
+        result = run(
+            directors_dataset(),
+            'SELECT ?n WHERE { ?x ex:name ?n FILTER (REGEX(?n, "^Ge")) }',
+        )
+        assert result.to_set() == {(Literal("George"),)}
+
+    def test_order_by_limit_offset(self):
+        result = run(
+            countries_dataset(),
+            "SELECT ?b WHERE { ?a ex:borders ?b } ORDER BY ?b LIMIT 2 OFFSET 1",
+        )
+        values = [row[0] for row in result.rows()]
+        assert len(values) == 2
+        assert values == sorted(values, key=lambda t: t.value)
+
+    def test_distinct(self):
+        result = run(
+            countries_dataset(),
+            "SELECT DISTINCT ?b WHERE { ?a ex:borders ?b . ?c ex:borders ?b }",
+        )
+        assert len(result) == len(result.to_set())
+
+    def test_ask(self):
+        assert run(countries_dataset(), "ASK WHERE { ex:spain ex:borders ex:france }") is True
+        assert run(countries_dataset(), "ASK WHERE { ex:spain ex:borders ex:austria }") is False
+
+    def test_group_by_count(self):
+        result = run(
+            countries_dataset(),
+            "SELECT ?a (COUNT(?b) AS ?n) WHERE { ?a ex:borders ?b } GROUP BY ?a",
+        )
+        by_country = {row[0]: row[1].as_python() for row in result.rows()}
+        assert by_country[EX.france] == 2
+        assert by_country[EX.spain] == 1
+
+    def test_bind(self):
+        result = run(
+            directors_dataset(),
+            'SELECT ?n ?u WHERE { ?x ex:name ?n BIND(UCASE(?n) AS ?u) }',
+        )
+        rows = dict(result.rows())
+        assert rows[Literal("George")] == Literal("GEORGE")
+
+    def test_values(self):
+        result = run(
+            countries_dataset(),
+            "SELECT ?x ?b WHERE { VALUES ?x { ex:spain ex:france } ?x ex:borders ?b }",
+        )
+        assert (EX.spain, EX.france) in result.to_set()
+        assert all(row[0] in {EX.spain, EX.france} for row in result.rows())
+
+
+class TestNamedGraphs:
+    def _dataset(self):
+        dataset = Dataset.from_graph(countries_dataset().default_graph)
+        named = Graph([Triple(EX.a, EX.p, EX.b)])
+        dataset.add_named_graph(IRI("http://g1"), named)
+        return dataset
+
+    def test_graph_with_iri(self):
+        result = run(
+            self._dataset(),
+            "SELECT ?s WHERE { GRAPH <http://g1> { ?s ex:p ?o } }",
+        )
+        assert result.to_set() == {(EX.a,)}
+
+    def test_graph_with_variable_binds_graph_name(self):
+        result = run(
+            self._dataset(),
+            "SELECT ?g ?s WHERE { GRAPH ?g { ?s ex:p ?o } }",
+        )
+        assert result.to_set() == {(IRI("http://g1"), EX.a)}
+
+    def test_default_graph_not_visible_inside_graph(self):
+        result = run(
+            self._dataset(),
+            "SELECT ?s WHERE { GRAPH <http://g1> { ?s ex:borders ?o } }",
+        )
+        assert len(result) == 0

@@ -1,0 +1,250 @@
+"""Tests for the SPARQL tokenizer and parser."""
+
+import pytest
+
+from repro.rdf.terms import IRI, Literal, Variable, XSD_INTEGER
+from repro.sparql.algebra import (
+    AskQuery,
+    BGP,
+    Bind,
+    Filter,
+    GraphGraphPattern,
+    Join,
+    LeftJoin,
+    Minus,
+    PathPattern,
+    SelectQuery,
+    TriplePatternNode,
+    Union,
+    ValuesPattern,
+    pattern_features,
+    walk,
+)
+from repro.sparql.expressions import Aggregate, Comparison, FunctionCall
+from repro.sparql.parser import SparqlSyntaxError, parse_query
+from repro.sparql.paths import (
+    AlternativePath,
+    InversePath,
+    LinkPath,
+    NegatedPropertySet,
+    OneOrMorePath,
+    RepeatPath,
+    SequencePath,
+    ZeroOrMorePath,
+    ZeroOrOnePath,
+)
+from repro.sparql.tokenizer import tokenize
+
+PREFIX = "PREFIX ex: <http://ex.org/>\n"
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize('SELECT ?x WHERE { ?x <http://p> "v" }')
+        kinds = [token.kind for token in tokens]
+        assert kinds == ["keyword", "var", "keyword", "op", "var", "iri", "string", "op"]
+
+    def test_string_with_language_tag(self):
+        tokens = tokenize('"chat"@fr')
+        assert tokens[0].kind == "string"
+        assert tokens[0].value == '"chat"@fr'
+
+    def test_string_with_datatype(self):
+        tokens = tokenize('"5"^^xsd:integer')
+        assert tokens[0].value == '"5"^^xsd:integer'
+
+    def test_comments_ignored(self):
+        tokens = tokenize("SELECT ?x # comment\nWHERE { }")
+        assert all(token.kind != "comment" for token in tokens)
+
+    def test_operators(self):
+        tokens = tokenize("?a >= 3 && ?b != 4 || !?c")
+        values = [token.value for token in tokens if token.kind == "op"]
+        assert values == [">=", "&&", "!=", "||", "!"]
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        query = parse_query(PREFIX + "SELECT ?s WHERE { ?s ex:p ex:o }")
+        assert isinstance(query, SelectQuery)
+        assert query.projected_variables() == [Variable("s")]
+        assert isinstance(query.pattern, TriplePatternNode)
+
+    def test_select_star(self):
+        query = parse_query(PREFIX + "SELECT * WHERE { ?s ex:p ?o }")
+        assert query.select_all
+        assert set(query.projected_variables()) == {Variable("s"), Variable("o")}
+
+    def test_distinct_and_modifiers(self):
+        query = parse_query(
+            PREFIX
+            + "SELECT DISTINCT ?s WHERE { ?s ex:p ?o } ORDER BY DESC(?o) LIMIT 5 OFFSET 2"
+        )
+        assert query.distinct
+        assert query.limit == 5
+        assert query.offset == 2
+        assert len(query.order_by) == 1
+        assert not query.order_by[0].ascending
+
+    def test_predicate_object_lists(self):
+        query = parse_query(PREFIX + "SELECT * WHERE { ?s ex:p ?a ; ex:q ?b , ?c . }")
+        patterns = [n for n in walk(query.pattern) if isinstance(n, TriplePatternNode)]
+        assert len(patterns) == 3
+
+    def test_optional_becomes_leftjoin(self):
+        query = parse_query(
+            PREFIX + "SELECT * WHERE { ?s ex:p ?o OPTIONAL { ?s ex:q ?z } }"
+        )
+        assert isinstance(query.pattern, LeftJoin)
+
+    def test_optional_with_filter_scopes_condition(self):
+        query = parse_query(
+            PREFIX
+            + "SELECT * WHERE { ?s ex:p ?o OPTIONAL { ?s ex:q ?z FILTER (?z > 3) } }"
+        )
+        assert isinstance(query.pattern, LeftJoin)
+        assert query.pattern.condition is not None
+
+    def test_union(self):
+        query = parse_query(
+            PREFIX + "SELECT * WHERE { { ?s ex:p ?o } UNION { ?s ex:q ?o } }"
+        )
+        assert isinstance(query.pattern, Union)
+
+    def test_minus(self):
+        query = parse_query(
+            PREFIX + "SELECT * WHERE { ?s ex:p ?o MINUS { ?s ex:q ?o } }"
+        )
+        assert isinstance(query.pattern, Minus)
+
+    def test_filter_wraps_group(self):
+        query = parse_query(
+            PREFIX + "SELECT * WHERE { ?s ex:p ?o . FILTER (?o > 5) }"
+        )
+        assert isinstance(query.pattern, Filter)
+        assert isinstance(query.pattern.condition, Comparison)
+
+    def test_graph_pattern(self):
+        query = parse_query(
+            PREFIX + "SELECT * WHERE { GRAPH ?g { ?s ex:p ?o } }"
+        )
+        assert isinstance(query.pattern, GraphGraphPattern)
+        assert query.pattern.graph == Variable("g")
+
+    def test_bind_and_values(self):
+        query = parse_query(
+            PREFIX + 'SELECT * WHERE { ?s ex:p ?o BIND(STR(?o) AS ?str) }'
+        )
+        assert isinstance(query.pattern, Bind)
+        query2 = parse_query(
+            PREFIX + "SELECT * WHERE { VALUES ?x { ex:a ex:b } ?x ex:p ?o }"
+        )
+        assert any(isinstance(node, ValuesPattern) for node in walk(query2.pattern))
+
+    def test_group_by_and_aggregate(self):
+        query = parse_query(
+            PREFIX
+            + "SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s ex:p ?o } GROUP BY ?s"
+        )
+        assert query.has_aggregates()
+        aggregate = query.projection[1].expression
+        assert isinstance(aggregate, Aggregate)
+        assert aggregate.operation == "COUNT"
+
+    def test_from_clauses(self):
+        query = parse_query(
+            PREFIX
+            + "SELECT ?s FROM <http://g1> FROM NAMED <http://g2> WHERE { ?s ex:p ?o }"
+        )
+        assert len(query.dataset_clauses) == 2
+        assert query.dataset_clauses[0].named is False
+        assert query.dataset_clauses[1].named is True
+
+    def test_ask_query(self):
+        query = parse_query(PREFIX + "ASK WHERE { ?s ex:p ex:o }")
+        assert isinstance(query, AskQuery)
+
+    def test_order_by_complex_expression(self):
+        query = parse_query(
+            PREFIX
+            + "SELECT ?s ?o WHERE { ?s ex:p ?o } ORDER BY DESC(BOUND(?o)) ?s"
+        )
+        assert len(query.order_by) == 2
+
+    def test_typed_literal_in_query(self):
+        query = parse_query(
+            PREFIX
+            + 'PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n'
+            + 'SELECT ?s WHERE { ?s ex:age "42"^^xsd:integer }'
+        )
+        triple = query.pattern.triple
+        assert triple.object == Literal("42", XSD_INTEGER)
+
+    def test_syntax_errors(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT WHERE { ?s ?p ?o }")
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?s WHERE { ?s ?p ?o ")
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }")
+
+
+class TestPropertyPathParsing:
+    def _path_of(self, path_text: str):
+        query = parse_query(PREFIX + f"SELECT * WHERE {{ ?x {path_text} ?y }}")
+        assert isinstance(query.pattern, PathPattern), path_text
+        return query.pattern.path
+
+    def test_plain_iri_is_triple_pattern(self):
+        query = parse_query(PREFIX + "SELECT * WHERE { ?x ex:p ?y }")
+        assert isinstance(query.pattern, TriplePatternNode)
+
+    def test_inverse(self):
+        assert isinstance(self._path_of("^ex:p"), InversePath)
+
+    def test_sequence_and_alternative(self):
+        assert isinstance(self._path_of("ex:p/ex:q"), SequencePath)
+        assert isinstance(self._path_of("ex:p|ex:q"), AlternativePath)
+
+    def test_closures(self):
+        assert isinstance(self._path_of("ex:p+"), OneOrMorePath)
+        assert isinstance(self._path_of("ex:p*"), ZeroOrMorePath)
+        assert isinstance(self._path_of("ex:p?"), ZeroOrOnePath)
+
+    def test_negated_property_set(self):
+        path = self._path_of("!(ex:p|^ex:q)")
+        assert isinstance(path, NegatedPropertySet)
+        assert path.forward == (IRI("http://ex.org/p"),)
+        assert path.inverse == (IRI("http://ex.org/q"),)
+
+    def test_bounded_repetition(self):
+        path = self._path_of("ex:p{2,4}")
+        assert isinstance(path, RepeatPath)
+        assert (path.minimum, path.maximum) == (2, 4)
+
+    def test_nested_groups(self):
+        path = self._path_of("(ex:p/(ex:q|^ex:r))+")
+        assert isinstance(path, OneOrMorePath)
+        assert isinstance(path.path, SequencePath)
+
+    def test_a_keyword_in_path(self):
+        path = self._path_of("a/ex:p")
+        assert isinstance(path, SequencePath)
+        assert isinstance(path.left, LinkPath)
+        assert path.left.iri.value.endswith("#type")
+
+
+class TestPatternFeatures:
+    def test_feature_extraction(self):
+        query = parse_query(
+            PREFIX
+            + """SELECT DISTINCT ?s WHERE {
+                 { ?s ex:p ?o } UNION { ?s ex:q/ex:r+ ?o }
+                 OPTIONAL { ?s ex:z ?w }
+                 FILTER (REGEX(?o, "x"))
+               } ORDER BY ?s LIMIT 3"""
+        )
+        features = pattern_features(query)
+        assert {"SELECT", "DISTINCT", "UNION", "OPTIONAL", "FILTER", "REGEX",
+                "ORDER BY", "LIMIT", "PropertyPath", "PathSequence",
+                "PathOneOrMore"} <= features

@@ -1,0 +1,183 @@
+"""Tests for property-path semantics in the reference evaluator."""
+
+import pytest
+
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.terms import IRI, Literal, Triple
+from repro.sparql.evaluator import SparqlEvaluator
+from repro.sparql.parser import parse_query
+from repro.sparql.paths import (
+    OneOrMorePath,
+    RepeatPath,
+    SequencePath,
+    ZeroOrMorePath,
+    ZeroOrOnePath,
+    LinkPath,
+    expand_repeat,
+    normalize_path,
+)
+
+from tests.helpers import EX, countries_dataset
+
+PREFIX = "PREFIX ex: <http://ex.org/>\n"
+
+
+def run(dataset, query_text):
+    return SparqlEvaluator(dataset).evaluate(parse_query(PREFIX + query_text))
+
+
+def cyclic_dataset() -> Dataset:
+    graph = Graph(
+        [
+            Triple(EX.a, EX.p, EX.b),
+            Triple(EX.b, EX.p, EX.c),
+            Triple(EX.c, EX.p, EX.a),  # cycle
+            Triple(EX.c, EX.q, EX.d),
+        ]
+    )
+    return Dataset.from_graph(graph)
+
+
+class TestClosurePaths:
+    def test_one_or_more_from_bound_subject(self):
+        result = run(
+            countries_dataset(),
+            "SELECT ?b WHERE { ex:spain ex:borders+ ?b }",
+        )
+        assert result.to_set() == {
+            (EX.france,), (EX.belgium,), (EX.germany,), (EX.austria,),
+        }
+
+    def test_one_or_more_set_semantics_no_duplicates(self):
+        # germany is reachable from france via two paths, but + has set semantics.
+        result = run(
+            countries_dataset(),
+            "SELECT ?b WHERE { ex:france ex:borders+ ?b }",
+        )
+        assert len(result) == len(result.to_set())
+
+    def test_one_or_more_on_cycle_includes_start(self):
+        result = run(cyclic_dataset(), "SELECT ?x WHERE { ex:a ex:p+ ?x }")
+        assert (EX.a,) in result.to_set()
+
+    def test_zero_or_more_includes_start_even_without_edges(self):
+        result = run(
+            countries_dataset(),
+            "SELECT ?b WHERE { ex:austria ex:borders* ?b }",
+        )
+        assert result.to_set() == {(EX.austria,)}
+
+    def test_zero_or_more_for_node_not_in_graph(self):
+        # The zero-length path must exist for a bound term absent from the
+        # graph — the corner case the paper fixes (Section 5.2).
+        result = run(
+            countries_dataset(),
+            "SELECT ?b WHERE { ex:atlantis ex:borders* ?b }",
+        )
+        assert result.to_set() == {(IRI("http://ex.org/atlantis"),)}
+
+    def test_zero_or_one(self):
+        result = run(
+            countries_dataset(),
+            "SELECT ?b WHERE { ex:spain ex:borders? ?b }",
+        )
+        assert result.to_set() == {(EX.spain,), (EX.france,)}
+
+    def test_zero_or_more_two_variables_includes_all_nodes(self):
+        result = run(cyclic_dataset(), "SELECT ?x ?y WHERE { ?x ex:p* ?y }")
+        nodes = {EX.a, EX.b, EX.c, EX.d}
+        for node in nodes:
+            assert (node, node) in result.to_set()
+
+    def test_backwards_evaluation_with_bound_object(self):
+        result = run(
+            countries_dataset(),
+            "SELECT ?a WHERE { ?a ex:borders+ ex:austria }",
+        )
+        assert result.to_set() == {
+            (EX.spain,), (EX.france,), (EX.belgium,), (EX.germany,),
+        }
+
+
+class TestStructuralPaths:
+    def test_inverse(self):
+        result = run(
+            countries_dataset(), "SELECT ?x WHERE { ex:germany ^ex:borders ?x }"
+        )
+        assert result.to_set() == {(EX.france,), (EX.belgium,)}
+
+    def test_sequence(self):
+        result = run(
+            countries_dataset(), "SELECT ?x WHERE { ex:spain ex:borders/ex:borders ?x }"
+        )
+        assert result.to_set() == {(EX.belgium,), (EX.germany,)}
+
+    def test_alternative_preserves_duplicates(self):
+        result = run(
+            countries_dataset(),
+            "SELECT ?x WHERE { ex:spain (ex:borders|ex:borders) ?x }",
+        )
+        assert len(result) == 2
+
+    def test_negated_property_set(self):
+        dataset = cyclic_dataset()
+        result = run(dataset, "SELECT ?x ?y WHERE { ?x !(ex:p) ?y }")
+        assert result.to_set() == {(EX.c, EX.d)}
+
+    def test_negated_with_inverse_member(self):
+        dataset = cyclic_dataset()
+        result = run(dataset, "SELECT ?x ?y WHERE { ?x !(ex:p|^ex:p) ?y }")
+        # forward: only the q edge; inverse: only the reversed q edge.
+        assert result.to_set() == {(EX.c, EX.d), (EX.d, EX.c)}
+
+    def test_bounded_repetition(self):
+        result = run(
+            countries_dataset(),
+            "SELECT ?x WHERE { ex:spain ex:borders{2,3} ?x }",
+        )
+        assert result.to_set() == {(EX.belgium,), (EX.germany,), (EX.austria,)}
+
+    def test_sequence_of_inverse_and_forward(self):
+        result = run(
+            countries_dataset(),
+            "SELECT ?x WHERE { ex:belgium ^ex:borders/ex:borders ?x }",
+        )
+        assert (EX.germany,) in result.to_set()
+
+
+class TestRepeatExpansion:
+    def test_exact_repeat(self):
+        path = expand_repeat(RepeatPath(LinkPath(EX.p), 3, 3))
+        assert isinstance(path, SequencePath)
+
+    def test_zero_to_n(self):
+        path = expand_repeat(RepeatPath(LinkPath(EX.p), 0, 2))
+        assert isinstance(path, SequencePath)
+        assert isinstance(path.left, ZeroOrOnePath)
+
+    def test_n_or_more(self):
+        path = expand_repeat(RepeatPath(LinkPath(EX.p), 2, None))
+        assert isinstance(path, SequencePath)
+        assert isinstance(path.right, OneOrMorePath)
+
+    def test_zero_or_more_equivalent(self):
+        assert isinstance(expand_repeat(RepeatPath(LinkPath(EX.p), 0, None)), ZeroOrMorePath)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            expand_repeat(RepeatPath(LinkPath(EX.p), 3, 2))
+        with pytest.raises(ValueError):
+            expand_repeat(RepeatPath(LinkPath(EX.p), 0, 0))
+
+    def test_normalize_is_recursive(self):
+        path = normalize_path(SequencePath(RepeatPath(LinkPath(EX.p), 1, 2), LinkPath(EX.q)))
+        assert not any(
+            isinstance(node, RepeatPath)
+            for node in [path, path.left, path.right]
+        )
+
+    def test_is_recursive_flag(self):
+        assert OneOrMorePath(LinkPath(EX.p)).is_recursive()
+        assert RepeatPath(LinkPath(EX.p), 1, None).is_recursive()
+        assert not RepeatPath(LinkPath(EX.p), 1, 3).is_recursive()
+        assert not LinkPath(EX.p).is_recursive()

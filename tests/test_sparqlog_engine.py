@@ -1,0 +1,149 @@
+"""Tests for the SparqLog engine façade and the solution translation."""
+
+import pytest
+
+from collections import Counter
+
+from repro.core.engine import SparqLogEngine, resolve_dataset_clauses
+from repro.core.solution_translation import SolutionTranslator
+from repro.datalog.engine import EvaluationLimitExceeded
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.terms import IRI, Literal, Triple, Variable
+from repro.sparql.algebra import DatasetClause
+
+from tests.helpers import EX, countries_dataset, countries_graph, directors_dataset
+
+PREFIX = "PREFIX ex: <http://ex.org/>\n"
+
+
+class TestEngineBasics:
+    def test_query_accepts_strings_and_parsed_queries(self):
+        from repro.sparql.parser import parse_query
+
+        engine = SparqLogEngine(countries_dataset())
+        text = PREFIX + "SELECT ?x WHERE { ex:spain ex:borders ?x }"
+        assert engine.query(text).to_set() == engine.query(parse_query(text)).to_set()
+
+    def test_result_variable_order_follows_projection(self):
+        engine = SparqLogEngine(countries_dataset())
+        result = engine.query(PREFIX + "SELECT ?y ?x WHERE { ?x ex:borders ?y }")
+        assert result.variables == [Variable("y"), Variable("x")]
+
+    def test_order_by_applied(self):
+        engine = SparqLogEngine(countries_dataset())
+        result = engine.query(
+            PREFIX + "SELECT ?b WHERE { ?a ex:borders ?b } ORDER BY ?b"
+        )
+        values = [row[0].value for row in result.rows()]
+        assert values == sorted(values)
+
+    def test_limit_offset_applied(self):
+        engine = SparqLogEngine(countries_dataset())
+        result = engine.query(
+            PREFIX + "SELECT ?b WHERE { ?a ex:borders ?b } ORDER BY ?b LIMIT 2 OFFSET 1"
+        )
+        assert len(result) == 2
+
+    def test_load_invalidates_cache(self):
+        engine = SparqLogEngine(countries_dataset())
+        assert len(engine.query(PREFIX + "SELECT ?x ?y WHERE { ?x ex:borders ?y }")) == 5
+        engine.load(directors_dataset())
+        assert len(engine.query(PREFIX + "SELECT ?x ?y WHERE { ?x ex:borders ?y }")) == 0
+
+    def test_translate_exposes_program(self):
+        engine = SparqLogEngine(countries_dataset())
+        program, translation = engine.translate(
+            PREFIX + "SELECT ?x WHERE { ex:spain ex:borders ?x }"
+        )
+        assert translation.answer_predicate in {rule.head.predicate for rule in program.rules}
+        assert any(fact.predicate == "triple" for fact in program.facts)
+
+    def test_timeout_propagates(self):
+        # A cartesian blow-up should hit the engine's cooperative limits.
+        big = Graph()
+        for index in range(60):
+            big.add(Triple(IRI(f"http://n/{index}"), EX.p, IRI(f"http://m/{index}")))
+        engine = SparqLogEngine(Dataset.from_graph(big), max_facts=500)
+        with pytest.raises(EvaluationLimitExceeded):
+            engine.query(
+                PREFIX + "SELECT ?a ?b ?c ?d WHERE { ?a ex:p ?b . ?c ex:p ?d }"
+            )
+
+
+class TestDatasetClauses:
+    def _dataset(self) -> Dataset:
+        dataset = Dataset()
+        dataset.add_named_graph(IRI("http://g1"), countries_graph())
+        dataset.add_named_graph(
+            IRI("http://g2"), Graph([Triple(EX.a, EX.p, EX.b)])
+        )
+        return dataset
+
+    def test_resolve_from_merges_into_default(self):
+        active = resolve_dataset_clauses(
+            self._dataset(), [DatasetClause(IRI("http://g1"), named=False)]
+        )
+        assert len(active.default_graph) == 5
+        assert not active.named_graphs
+
+    def test_resolve_from_named_keeps_named(self):
+        active = resolve_dataset_clauses(
+            self._dataset(), [DatasetClause(IRI("http://g2"), named=True)]
+        )
+        assert len(active.default_graph) == 0
+        assert IRI("http://g2") in active.named_graphs
+
+    def test_from_clause_in_query(self):
+        engine = SparqLogEngine(self._dataset())
+        result = engine.query(
+            PREFIX
+            + "SELECT ?x FROM <http://g1> WHERE { ex:spain ex:borders ?x }"
+        )
+        assert result.to_set() == {(EX.france,)}
+
+    def test_from_named_with_graph_pattern(self):
+        engine = SparqLogEngine(self._dataset())
+        result = engine.query(
+            PREFIX
+            + "SELECT ?s FROM NAMED <http://g2> WHERE { GRAPH <http://g2> { ?s ex:p ?o } }"
+        )
+        assert result.to_set() == {(EX.a,)}
+
+
+class TestSolutionTranslation:
+    def test_null_constant_maps_to_unbound(self):
+        engine = SparqLogEngine(directors_dataset())
+        result = engine.query(
+            PREFIX + "SELECT ?n ?l WHERE { ?x ex:name ?n OPTIONAL { ?x ex:lastname ?l } }"
+        )
+        rows = result.to_set()
+        assert (Literal("Steven"), None) in rows
+
+    def test_projecting_never_bound_variable(self):
+        engine = SparqLogEngine(countries_dataset())
+        result = engine.query(PREFIX + "SELECT ?nope ?x WHERE { ex:spain ex:borders ?x }")
+        assert result.to_set() == {(None, EX.france)}
+
+    def test_ask_translation_boolean(self):
+        translator = SolutionTranslator()
+        # Craft a fake ASK relation: a single row holding literal true.
+        from repro.core.query_translation import QueryTranslator
+        from repro.sparql.parser import parse_query
+
+        translation = QueryTranslator().translate(
+            parse_query(PREFIX + "ASK WHERE { ?x ex:borders ?y }")
+        )
+        relations = {translation.answer_predicate: {(Literal("true", None),)}}
+        assert translator.translate(relations, translation) is True
+        assert translator.translate({}, translation) is False
+
+    def test_distinct_projection_after_translation(self):
+        engine = SparqLogEngine(countries_dataset())
+        duplicated = engine.query(
+            PREFIX + "SELECT ?x WHERE { ?x ex:borders ?y }"
+        )
+        deduplicated = engine.query(
+            PREFIX + "SELECT DISTINCT ?x WHERE { ?x ex:borders ?y }"
+        )
+        assert len(duplicated) == 5
+        assert Counter(row[0] for row in deduplicated.rows())[EX.france] == 1

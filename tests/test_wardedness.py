@@ -1,0 +1,97 @@
+"""Tests for the wardedness analysis and its use on translated programs."""
+
+from repro.datalog.rules import Atom, Negation, Program, Rule
+from repro.datalog.terms import Const, Var
+from repro.datalog.wardedness import (
+    affected_positions,
+    analyze_wardedness,
+    dangerous_variables,
+)
+from repro.core.engine import SparqLogEngine
+
+from tests.helpers import countries_dataset
+
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+
+
+class TestAffectedPositions:
+    def test_existential_position_is_affected(self):
+        program = Program()
+        program.add_rule(
+            Rule(Atom("p", (X, Z)), (Atom("q", (X,)),), existential_variables=(Z,))
+        )
+        assert ("p", 1) in affected_positions(program)
+        assert ("p", 0) not in affected_positions(program)
+
+    def test_affectedness_propagates(self):
+        program = Program()
+        program.add_rule(
+            Rule(Atom("p", (X, Z)), (Atom("q", (X,)),), existential_variables=(Z,))
+        )
+        # r copies the affected position of p into its own second position.
+        program.add_rule(Rule(Atom("r", (X, Y)), (Atom("p", (X, Y)),)))
+        affected = affected_positions(program)
+        assert ("r", 1) in affected
+
+    def test_dangerous_variables(self):
+        program = Program()
+        program.add_rule(
+            Rule(Atom("p", (X, Z)), (Atom("q", (X,)),), existential_variables=(Z,))
+        )
+        rule = Rule(Atom("s", (Y,)), (Atom("p", (X, Y)),))
+        program.add_rule(rule)
+        affected = affected_positions(program)
+        assert dangerous_variables(rule, affected) == {Y}
+
+
+class TestWardedness:
+    def test_plain_datalog_is_warded(self):
+        program = Program()
+        program.add_rule(Rule(Atom("tc", (X, Y)), (Atom("e", (X, Y)),)))
+        program.add_rule(Rule(Atom("tc", (X, Z)), (Atom("e", (X, Y)), Atom("tc", (Y, Z)))))
+        assert analyze_wardedness(program).warded
+
+    def test_single_ward_is_accepted(self):
+        program = Program()
+        program.add_rule(
+            Rule(Atom("p", (X, Z)), (Atom("q", (X,)),), existential_variables=(Z,))
+        )
+        # Dangerous variable Y occurs only in the single body atom p(X, Y),
+        # and the shared variable X also occurs at a non-affected position.
+        program.add_rule(
+            Rule(Atom("out", (Y,)), (Atom("p", (X, Y)), Atom("q", (X,))))
+        )
+        report = analyze_wardedness(program)
+        assert report.warded, report.violations
+
+    def test_violation_detected_when_dangerous_vars_span_atoms(self):
+        program = Program()
+        program.add_rule(
+            Rule(Atom("p", (X, Z)), (Atom("q", (X,)),), existential_variables=(Z,))
+        )
+        # Y and W are both dangerous and occur in two *different* body atoms,
+        # so no single atom can serve as the ward.
+        W = Var("W")
+        program.add_rule(
+            Rule(
+                Atom("bad", (Y, W)),
+                (Atom("p", (X, Y)), Atom("p", (Z, W))),
+            )
+        )
+        report = analyze_wardedness(program)
+        assert not report.warded
+        assert report.violations
+
+    def test_translated_query_programs_are_warded(self):
+        """Programs produced by the SparqLog translation are warded (Sect. 2.2)."""
+        engine = SparqLogEngine(countries_dataset())
+        queries = [
+            "PREFIX ex: <http://ex.org/> SELECT ?b WHERE { ?a ex:borders+ ?b . FILTER (?a = ex:spain) }",
+            "PREFIX ex: <http://ex.org/> SELECT DISTINCT ?a ?b WHERE { ?a (ex:borders|^ex:borders)* ?b }",
+            "PREFIX ex: <http://ex.org/> SELECT ?a WHERE { ?a ex:borders ?b OPTIONAL { ?b ex:borders ?c } }",
+            "PREFIX ex: <http://ex.org/> ASK WHERE { ex:spain ex:borders ?x }",
+        ]
+        for query in queries:
+            program, _ = engine.translate(query)
+            report = analyze_wardedness(program)
+            assert report.warded, report.violations

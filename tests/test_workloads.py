@@ -1,0 +1,167 @@
+"""Tests for the benchmark workload generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.sparql.parser import parse_query
+from repro.workloads.beseppi import BeSEPPIWorkload, CATEGORY_COUNTS, beseppi_graph
+from repro.workloads.feasible import FeasibleWorkload
+from repro.workloads.feature_analysis import (
+    PAPER_TABLE2,
+    analyze_workload_features,
+)
+from repro.workloads.gmark import (
+    GMarkWorkload,
+    generate_gmark_graph,
+    social_scenario,
+)
+from repro.workloads.gmark import test_scenario as gmark_test_scenario
+from repro.workloads.ontology_bench import OntologyBenchmark
+from repro.workloads.sp2bench import SP2BenchWorkload, generate_sp2bench_graph
+
+
+class TestSP2Bench:
+    def test_generator_is_deterministic(self):
+        first = generate_sp2bench_graph(n_articles=30, n_persons=20, seed=5)
+        second = generate_sp2bench_graph(n_articles=30, n_persons=20, seed=5)
+        assert set(first) == set(second)
+
+    def test_seed_changes_data(self):
+        first = generate_sp2bench_graph(n_articles=30, n_persons=20, seed=5)
+        second = generate_sp2bench_graph(n_articles=30, n_persons=20, seed=6)
+        assert set(first) != set(second)
+
+    def test_seventeen_queries_all_parse(self):
+        workload = SP2BenchWorkload(scale=0.05)
+        queries = workload.queries()
+        assert len(queries) == 17
+        for query in queries:
+            parse_query(query.text)
+
+    def test_statistics(self):
+        workload = SP2BenchWorkload(scale=0.05)
+        statistics = workload.statistics()
+        assert statistics["triples"] > 100
+        assert statistics["queries"] == 17
+
+    def test_scaling_grows_the_graph(self):
+        small = SP2BenchWorkload(scale=0.05).statistics()["triples"]
+        large = SP2BenchWorkload(scale=0.2).statistics()["triples"]
+        assert large > small
+
+
+class TestGMark:
+    def test_scenarios(self):
+        assert len(social_scenario().edges) == 27
+        assert len(gmark_test_scenario().edges) == 4
+
+    def test_graph_respects_schema(self):
+        scenario = gmark_test_scenario().scaled(0.1)
+        graph = generate_gmark_graph(scenario, seed=3)
+        predicates = {p.value.rsplit("/", 1)[-1] for p in graph.predicates()}
+        assert predicates <= {edge.predicate for edge in scenario.edges}
+
+    def test_fifty_queries_generated_and_parse(self):
+        workload = GMarkWorkload(gmark_test_scenario(), scale=0.05, seed=4)
+        queries = workload.queries()
+        assert len(queries) == 50
+        for query in queries:
+            parse_query(query.text)
+
+    def test_query_mix_contains_recursion_and_two_variable_queries(self):
+        workload = GMarkWorkload(social_scenario(), scale=0.05, seed=4)
+        features = Counter(
+            feature for query in workload.queries() for feature in query.features
+        )
+        assert features["RecursivePath"] >= 15
+        assert features["TwoVariables"] >= 10
+        assert features["BoundSubject"] >= 10
+
+    def test_determinism(self):
+        first = GMarkWorkload(gmark_test_scenario(), scale=0.05, seed=4).queries()
+        second = GMarkWorkload(gmark_test_scenario(), scale=0.05, seed=4).queries()
+        assert [q.text for q in first] == [q.text for q in second]
+
+    def test_query_count_override(self):
+        workload = GMarkWorkload(gmark_test_scenario(), scale=0.05, seed=4, query_count=7)
+        assert len(workload.queries()) == 7
+
+
+class TestBeSEPPI:
+    def test_category_counts_match_paper(self):
+        workload = BeSEPPIWorkload()
+        counts = Counter(query.category for query in workload.queries())
+        assert dict(counts) == CATEGORY_COUNTS
+        assert sum(counts.values()) == 236
+
+    def test_all_queries_parse(self):
+        for query in BeSEPPIWorkload().queries():
+            parse_query(query.text)
+
+    def test_expected_answers_present(self):
+        for query in BeSEPPIWorkload().queries():
+            assert (query.expected_rows is not None) != (query.expected_boolean is not None)
+
+    def test_graph_contains_cycles_and_literal(self):
+        graph = beseppi_graph()
+        assert len(graph) == 23
+        from repro.rdf.terms import Literal
+
+        assert any(isinstance(t.object, Literal) for t in graph)
+
+    def test_expected_rows_nonempty_for_two_variable_queries(self):
+        workload = BeSEPPIWorkload()
+        two_variable = [
+            query
+            for query in workload.queries()
+            if query.variables == ("x", "y") and query.category != "Negated"
+        ]
+        assert any(sum(query.expected_rows.values()) > 0 for query in two_variable)
+
+
+class TestFeasible:
+    def test_exactly_77_queries(self):
+        assert len(FeasibleWorkload(scale=0.1).queries()) == 77
+
+    def test_all_queries_parse(self):
+        for query in FeasibleWorkload(scale=0.1).queries():
+            parse_query(query.text)
+
+    def test_dataset_has_named_graph(self):
+        dataset = FeasibleWorkload(scale=0.1).dataset()
+        assert len(dataset.named_graphs) == 1
+
+    def test_feature_profile_is_diverse(self):
+        workload = FeasibleWorkload(scale=0.1)
+        profile = analyze_workload_features(workload.name, workload.queries())
+        assert profile.percentages["DIST"] > 20
+        assert profile.percentages["OPT"] > 5
+        assert profile.percentages["UN"] > 5
+        assert profile.percentages["GRA"] > 5
+        assert profile.percentages["GRO"] > 5
+        assert profile.unparsed == 0
+
+
+class TestOntologyBenchmark:
+    def test_queries_and_axioms(self):
+        benchmark = OntologyBenchmark(scale=0.05)
+        assert len(benchmark.queries()) == 8
+        assert benchmark.statistics()["axioms"] >= 7
+        for query in benchmark.queries():
+            parse_query(query.text)
+
+
+class TestFeatureAnalysis:
+    def test_paper_reference_table_is_complete(self):
+        assert len(PAPER_TABLE2) == 12
+        for values in PAPER_TABLE2.values():
+            assert set(values) == {"DIST", "FILT", "REG", "OPT", "UN", "GRA", "PSeq", "PAlt", "GRO"}
+
+    def test_sp2bench_profile_close_to_paper(self):
+        workload = SP2BenchWorkload(scale=0.05)
+        profile = analyze_workload_features("SP2Bench", workload.queries())
+        # Same shape as the paper's SP2Bench row: FILTER-heavy, no paths.
+        assert profile.percentages["FILT"] >= 25
+        assert profile.percentages["PSeq"] == 0.0
+        assert profile.percentages["GRA"] == 0.0
