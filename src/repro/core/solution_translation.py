@@ -15,10 +15,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.query_translation import TranslationResult
 from repro.datalog.terms import SkolemTerm
-from repro.rdf.terms import BlankNode, Literal, Term as RdfTerm, Variable, term_sort_key
+from repro.rdf.terms import BlankNode, Literal, Term as RdfTerm, Variable
 from repro.sparql.algebra import AskQuery, OrderCondition, SelectQuery
-from repro.sparql.expressions import evaluate as evaluate_expression
-from repro.sparql.functions import ExpressionError
+from repro.sparql.evaluator import apply_order_by
 from repro.sparql.solutions import Binding, SolutionSequence
 
 
@@ -105,32 +104,10 @@ class SolutionTranslator:
     def _order(
         bindings: List[Binding], conditions: Sequence[OrderCondition]
     ) -> List[Binding]:
-        """Sort the rows by the ORDER BY keys (unbound values sort first)."""
+        """Sort the rows by the ORDER BY keys.
 
-        def sort_key(binding: Binding):
-            key = []
-            for condition in conditions:
-                try:
-                    value = evaluate_expression(condition.expression, binding)
-                    part = term_sort_key(value)
-                except ExpressionError:
-                    part = (0, "")
-                key.append(part if condition.ascending else _ReverseKey(part))
-            return key
-
-        return sorted(bindings, key=sort_key)
-
-
-class _ReverseKey:
-    """Inverts comparisons so DESC keys sort descending."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value) -> None:
-        self.value = value
-
-    def __lt__(self, other: "_ReverseKey") -> bool:
-        return other.value < self.value
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _ReverseKey) and other.value == self.value
+        Delegates to the reference evaluator's shared helper so both
+        engines use the identical comparator (unbound / errored keys sort
+        strictly first for ASC and DESC alike).
+        """
+        return apply_order_by(conditions, bindings)

@@ -47,11 +47,13 @@ Substitution = Dict[Var, object]
 class Relation:
     """The extension of one predicate: a set of ground tuples plus indexes."""
 
-    __slots__ = ("tuples", "_indexes")
+    __slots__ = ("tuples", "_indexes", "_distinct_cache")
 
     def __init__(self) -> None:
         self.tuples: Set[GroundTuple] = set()
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple, List[GroundTuple]]] = {}
+        # position -> (relation size when computed, distinct count)
+        self._distinct_cache: Dict[int, Tuple[int, int]] = {}
 
     def add(self, row: GroundTuple) -> bool:
         """Insert a row; returns True when the row is new."""
@@ -80,6 +82,20 @@ class Relation:
             index[key].append(row)
         self._indexes[positions] = index
         return index
+
+    def distinct_count(self, position: int) -> int:
+        """Number of distinct values at ``position`` (cached per size).
+
+        Used by the body-ordering cost model; the cache is invalidated by
+        growth so estimates stay honest without rescanning on every call.
+        """
+        cached = self._distinct_cache.get(position)
+        size = len(self.tuples)
+        if cached is not None and cached[0] == size:
+            return cached[1]
+        count = len({row[position] for row in self.tuples if position < len(row)})
+        self._distinct_cache[position] = (size, count)
+        return count
 
     def lookup(self, bound: Dict[int, object]) -> Iterable[GroundTuple]:
         """Return candidate rows matching the bound positions."""
@@ -150,7 +166,9 @@ class DatalogEngine:
         stratum: Set[str],
         relations: Dict[str, Relation],
     ) -> None:
-        ordered_bodies = {id(rule): self._order_body(rule) for rule in rules}
+        ordered_bodies = {
+            id(rule): self._order_body(rule, relations, stratum) for rule in rules
+        }
         deltas: Dict[str, Set[GroundTuple]] = defaultdict(set)
 
         # Initial round: evaluate every rule against the full relations.
@@ -184,13 +202,26 @@ class DatalogEngine:
                             new_deltas[rule.head.predicate].add(row)
             deltas = new_deltas
 
-    def _order_body(self, rule: Rule) -> List[BodyElement]:
+    def _order_body(
+        self,
+        rule: Rule,
+        relations: Optional[Dict[str, Relation]] = None,
+        volatile: Iterable[str] = (),
+    ) -> List[BodyElement]:
         """Greedy sideways-information-passing order for body evaluation.
 
-        Positive atoms are taken in source order; negations, comparisons,
-        assignments and filters are scheduled as soon as their input
-        variables are bound.
+        Positive atoms are ordered by estimated candidate count — the same
+        cardinality/selectivity model the SPARQL BGP planner uses: relation
+        size divided by the distinct counts of bound positions.  Predicates
+        in ``volatile`` (the current stratum, whose extensions grow during
+        the fixpoint) are priced pessimistically so stable EDB atoms bind
+        variables first.  Negations, comparisons, assignments and filters
+        are still scheduled as soon as their input variables are bound.
+        When ``relations`` is omitted the estimates tie and atoms keep
+        source order (ties are broken by position, keeping ordering
+        deterministic).
         """
+        volatile_set = set(volatile)
         pending = list(rule.body)
         ordered: List[BodyElement] = []
         bound: Set[Var] = set()
@@ -198,9 +229,17 @@ class DatalogEngine:
             progressed = False
             for element in list(pending):
                 if isinstance(element, Atom):
-                    ordered.append(element)
-                    bound |= element.variables()
-                    pending.remove(element)
+                    atoms = [e for e in pending if isinstance(e, Atom)]
+                    best = min(
+                        atoms,
+                        key=lambda atom: (
+                            self._estimate_atom(atom, bound, relations, volatile_set),
+                            pending.index(atom),
+                        ),
+                    )
+                    ordered.append(best)
+                    bound |= best.variables()
+                    pending.remove(best)
                     progressed = True
                     break
                 required: Set[Var]
@@ -228,6 +267,31 @@ class DatalogEngine:
                 ordered.extend(pending)
                 break
         return ordered
+
+    @staticmethod
+    def _estimate_atom(
+        atom: Atom,
+        bound: Set[Var],
+        relations: Optional[Dict[str, Relation]],
+        volatile: Set[str],
+    ) -> float:
+        """Estimate candidate rows for matching ``atom`` given bound vars."""
+        if relations is None:
+            return 1.0
+        if atom.predicate in volatile:
+            # Recursive predicate: its extension grows during the fixpoint,
+            # so price it above every stable relation.
+            total = sum(len(relation) for relation in relations.values())
+            return float(total) + 1.0
+        relation = relations.get(atom.predicate)
+        if relation is None or not len(relation):
+            return 0.0
+        estimate = float(len(relation))
+        for position, argument in enumerate(atom.arguments):
+            if isinstance(argument, Var) and argument not in bound:
+                continue
+            estimate /= max(1, relation.distinct_count(position))
+        return estimate
 
     def _evaluate_rule(
         self,
@@ -432,7 +496,8 @@ class DatalogEngine:
         self, aggregate_rule: AggregateRule, relations: Dict[str, Relation]
     ) -> None:
         body = self._order_body(
-            Rule(aggregate_rule.head, aggregate_rule.body, label=aggregate_rule.label)
+            Rule(aggregate_rule.head, aggregate_rule.body, label=aggregate_rule.label),
+            relations,
         )
         substitutions: Iterable[Substitution] = [dict()]
         for element in body:

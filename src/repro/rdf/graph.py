@@ -5,11 +5,18 @@ indexes (SPO, POS, OSP) so that any triple pattern with at least one bound
 component can be answered without a full scan.  A :class:`Dataset` holds a
 default graph plus zero or more named graphs, mirroring the structure that
 SPARQL's ``FROM`` / ``FROM NAMED`` / ``GRAPH`` constructs operate on.
+
+The graph also maintains cheap incremental statistics — per-term occurrence
+counts and per-predicate distinct subject counts — kept up to date on every
+``add`` / ``remove``.  Together with the three indexes they make every
+triple-pattern cardinality (:meth:`Graph.pattern_cardinality`) an exact
+O(1) lookup, which is what the BGP join planner
+(:mod:`repro.sparql.plan`) builds its cost model on.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
 from repro.rdf.terms import IRI, Term, Triple
@@ -34,6 +41,13 @@ class Graph:
         self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(
             lambda: defaultdict(set)
         )
+        # Incremental statistics: occurrence counts per term position and
+        # per-predicate distinct-subject counts (the POS index already gives
+        # per-predicate distinct objects as len(self._pos[p])).
+        self._subject_counts: Counter = Counter()
+        self._predicate_counts: Counter = Counter()
+        self._object_counts: Counter = Counter()
+        self._pred_subject_counts: Dict[Term, Counter] = defaultdict(Counter)
         if triples:
             for triple in triples:
                 self.add(triple)
@@ -52,6 +66,10 @@ class Graph:
         self._spo[subject][predicate].add(obj)
         self._pos[predicate][obj].add(subject)
         self._osp[obj][subject].add(predicate)
+        self._subject_counts[subject] += 1
+        self._predicate_counts[predicate] += 1
+        self._object_counts[obj] += 1
+        self._pred_subject_counts[predicate][subject] += 1
 
     def add_triple(self, subject: Term, predicate: Term, obj: Term) -> None:
         """Convenience wrapper to add a triple from its components."""
@@ -63,14 +81,49 @@ class Graph:
             self.add(triple)
 
     def remove(self, triple: Triple) -> None:
-        """Remove a triple; missing triples are ignored."""
+        """Remove a triple; missing triples are ignored.
+
+        Emptied index entries are pruned so that the index keys stay exactly
+        the set of terms still occurring in some triple — the statistics API
+        and :meth:`subjects` / :meth:`predicates` / :meth:`objects` rely on
+        this, and it keeps memory bounded under add/remove churn.
+        """
         if triple not in self._triples:
             return
         self._triples.discard(triple)
         subject, predicate, obj = triple
-        self._spo[subject][predicate].discard(obj)
-        self._pos[predicate][obj].discard(subject)
-        self._osp[obj][subject].discard(predicate)
+        self._prune_index(self._spo, subject, predicate, obj)
+        self._prune_index(self._pos, predicate, obj, subject)
+        self._prune_index(self._osp, obj, subject, predicate)
+        self._decrement(self._subject_counts, subject)
+        self._decrement(self._predicate_counts, predicate)
+        self._decrement(self._object_counts, obj)
+        per_subject = self._pred_subject_counts[predicate]
+        self._decrement(per_subject, subject)
+        if not per_subject:
+            del self._pred_subject_counts[predicate]
+
+    @staticmethod
+    def _prune_index(
+        index: Dict[Term, Dict[Term, Set[Term]]],
+        first: Term,
+        second: Term,
+        third: Term,
+    ) -> None:
+        """Discard ``third`` from ``index[first][second]``, pruning empties."""
+        inner = index[first]
+        values = inner[second]
+        values.discard(third)
+        if not values:
+            del inner[second]
+            if not inner:
+                del index[first]
+
+    @staticmethod
+    def _decrement(counts: Counter, key: Term) -> None:
+        counts[key] -= 1
+        if counts[key] <= 0:
+            del counts[key]
 
     # ------------------------------------------------------------------
     # inspection
@@ -144,30 +197,82 @@ class Graph:
 
     def subjects(self) -> Set[Term]:
         """Return the set of all subjects."""
-        return {triple.subject for triple in self._triples}
+        return set(self._spo)
 
     def predicates(self) -> Set[Term]:
         """Return the set of all predicates."""
-        return {triple.predicate for triple in self._triples}
+        return set(self._pos)
 
     def objects(self) -> Set[Term]:
         """Return the set of all objects."""
-        return {triple.object for triple in self._triples}
+        return set(self._osp)
 
     def terms(self) -> Set[Term]:
         """Return every term occurring anywhere in the graph."""
-        result: Set[Term] = set()
-        for triple in self._triples:
-            result.update(triple)
-        return result
+        return set(self._spo) | set(self._pos) | set(self._osp)
 
     def nodes(self) -> Set[Term]:
         """Return every term occurring in subject or object position."""
-        result: Set[Term] = set()
-        for triple in self._triples:
-            result.add(triple.subject)
-            result.add(triple.object)
-        return result
+        return set(self._spo) | set(self._osp)
+
+    # ------------------------------------------------------------------
+    # statistics (incremental, exact)
+    # ------------------------------------------------------------------
+    def subject_cardinality(self, subject: Term) -> int:
+        """Number of triples with the given subject."""
+        return self._subject_counts.get(subject, 0)
+
+    def predicate_cardinality(self, predicate: Term) -> int:
+        """Number of triples with the given predicate."""
+        return self._predicate_counts.get(predicate, 0)
+
+    def object_cardinality(self, obj: Term) -> int:
+        """Number of triples with the given object."""
+        return self._object_counts.get(obj, 0)
+
+    def distinct_subjects(self, predicate: Optional[Term] = None) -> int:
+        """Number of distinct subjects (optionally restricted to a predicate)."""
+        if predicate is None:
+            return len(self._spo)
+        return len(self._pred_subject_counts.get(predicate, ()))
+
+    def distinct_predicates(self) -> int:
+        """Number of distinct predicates."""
+        return len(self._pos)
+
+    def distinct_objects(self, predicate: Optional[Term] = None) -> int:
+        """Number of distinct objects (optionally restricted to a predicate)."""
+        if predicate is None:
+            return len(self._osp)
+        return len(self._pos.get(predicate, ()))
+
+    def pattern_cardinality(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> int:
+        """Exact number of triples matching the pattern (``None`` = wildcard).
+
+        Every combination of bound components is answered in O(1) from the
+        indexes and the incremental counters; this is the ground truth the
+        BGP planner's cost model uses.
+        """
+        if subject is not None and predicate is not None and obj is not None:
+            return 1 if Triple(subject, predicate, obj) in self._triples else 0
+        if subject is not None:
+            if predicate is not None:
+                return len(self._spo.get(subject, {}).get(predicate, ()))
+            if obj is not None:
+                return len(self._osp.get(obj, {}).get(subject, ()))
+            return self._subject_counts.get(subject, 0)
+        if predicate is not None:
+            if obj is not None:
+                return len(self._pos.get(predicate, {}).get(obj, ()))
+            return self._predicate_counts.get(predicate, 0)
+        if obj is not None:
+            return self._object_counts.get(obj, 0)
+        return len(self._triples)
 
     def objects_for(self, subject: Term, predicate: Term) -> Set[Term]:
         """Return the set of objects for a fixed subject and predicate."""

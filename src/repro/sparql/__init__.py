@@ -8,6 +8,25 @@ The parser turns a SPARQL query string into an algebra tree
   "Fuseki-like" baseline, and
 * the SparqLog translator (:mod:`repro.core`), which compiles the tree into
   a Warded Datalog± program.
+
+Query planning
+--------------
+
+Basic graph patterns are *not* executed in textual order.  The planner in
+:mod:`repro.sparql.plan` prices every triple / path pattern against the
+exact incremental statistics kept by :class:`repro.rdf.Graph`
+(per-predicate cardinalities, distinct subject/object counts), greedily
+orders the patterns by estimated cardinality with bound-variable
+propagation, and materialises the result as a :class:`~repro.sparql.plan.BGPPlan`
+— an explicit, inspectable plan object.  Execution is a streaming
+index-nested-loop pipeline: each partial solution substitutes its bound
+variables into the next pattern before probing the SPO/POS/OSP indexes,
+and solutions are yielded lazily so ASK and plain-LIMIT queries
+short-circuit instead of materialising full intermediate multisets.  The
+same cardinality model drives body-atom ordering in
+:class:`repro.datalog.engine.DatalogEngine`.  ``SparqlEvaluator(dataset,
+use_planner=False)`` recovers the naive textual-order evaluation, which
+the property-based tests use as the differential baseline.
 """
 
 from repro.sparql.algebra import (
@@ -38,12 +57,14 @@ from repro.sparql.paths import (
     ZeroOrOnePath,
 )
 from repro.sparql.evaluator import SparqlEvaluator
+from repro.sparql.plan import BGPPlan, PlanStep, evaluate_bgp, plan_bgp
 from repro.sparql.solutions import Binding, SolutionSequence
 
 __all__ = [
     "AlternativePath",
     "AskQuery",
     "BGP",
+    "BGPPlan",
     "Binding",
     "Filter",
     "GraphGraphPattern",
@@ -55,6 +76,7 @@ __all__ = [
     "NegatedPropertySet",
     "OneOrMorePath",
     "PathPattern",
+    "PlanStep",
     "PropertyPath",
     "Query",
     "RepeatPath",
@@ -67,5 +89,7 @@ __all__ = [
     "Union",
     "ZeroOrMorePath",
     "ZeroOrOnePath",
+    "evaluate_bgp",
     "parse_query",
+    "plan_bgp",
 ]

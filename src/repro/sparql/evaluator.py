@@ -15,12 +15,21 @@ engine, a recursive path with two unbound endpoints is evaluated by
 running the per-node expansion from every node of the active graph — this
 is what makes the native engine slow on the gMark workloads, matching the
 performance shape reported in the paper.
+
+Basic graph patterns are evaluated through the cost-based planner in
+:mod:`repro.sparql.plan`: triple and path patterns are greedily reordered
+by estimated cardinality and executed as a streaming index-nested-loop
+pipeline, so ASK and plain LIMIT queries short-circuit instead of
+materialising the full join.  Pass ``use_planner=False`` to recover the
+naive textual-order evaluation (used as the differential-testing baseline
+and by the planner benchmarks).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from itertools import islice
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.rdf.graph import Dataset, Graph
 from repro.rdf.terms import IRI, Literal, Term, Triple, Variable, term_sort_key
@@ -52,6 +61,7 @@ from repro.sparql.expressions import (
     satisfies,
 )
 from repro.sparql.functions import ExpressionError
+from repro.sparql.plan import evaluate_bgp, match_triple
 from repro.sparql.paths import (
     AlternativePath,
     InversePath,
@@ -74,8 +84,9 @@ class EvaluationError(RuntimeError):
 class SparqlEvaluator:
     """Direct algebra evaluator over an RDF dataset."""
 
-    def __init__(self, dataset: Dataset) -> None:
+    def __init__(self, dataset: Dataset, use_planner: bool = True) -> None:
         self.dataset = dataset
+        self.use_planner = use_planner
 
     # ------------------------------------------------------------------
     # public API
@@ -119,7 +130,7 @@ class SparqlEvaluator:
     # ------------------------------------------------------------------
     def _evaluate_select(self, query: SelectQuery) -> SolutionSequence:
         dataset = self._active_dataset(query.dataset_clauses)
-        bindings = self._eval_pattern(query.pattern, dataset.default_graph, dataset)
+        bindings = self._eval_select_pattern(query, dataset)
         if query.has_aggregates():
             bindings = self._apply_grouping(query, bindings)
         else:
@@ -144,10 +155,37 @@ class SparqlEvaluator:
             projected = projected[: query.limit]
         return SolutionSequence(variables, projected)
 
+    def _eval_select_pattern(
+        self, query: SelectQuery, dataset: Dataset
+    ) -> List[Binding]:
+        """Evaluate a SELECT query's pattern, short-circuiting when safe.
+
+        A query whose only solution modifiers are LIMIT/OFFSET consumes
+        exactly ``offset + limit`` solutions from the streaming pipeline;
+        anything involving ordering, grouping or DISTINCT needs the full
+        multiset.
+        """
+        stream = self._eval_pattern_stream(
+            query.pattern, dataset.default_graph, dataset
+        )
+        can_short_circuit = (
+            query.limit is not None
+            and not query.order_by
+            and not query.distinct
+            and not query.reduced
+            and not query.has_aggregates()
+            and query.having is None
+        )
+        if can_short_circuit:
+            return list(islice(stream, (query.offset or 0) + query.limit))
+        return list(stream)
+
     def _evaluate_ask(self, query: AskQuery) -> bool:
         dataset = self._active_dataset(query.dataset_clauses)
-        bindings = self._eval_pattern(query.pattern, dataset.default_graph, dataset)
-        return len(bindings) > 0
+        stream = self._eval_pattern_stream(
+            query.pattern, dataset.default_graph, dataset
+        )
+        return next(iter(stream), None) is not None
 
     # ------------------------------------------------------------------
     # graph pattern evaluation
@@ -165,6 +203,8 @@ class SparqlEvaluator:
         if isinstance(node, PathPattern):
             return self._eval_path_pattern(node, active_graph)
         if isinstance(node, BGP):
+            if self._plannable_bgp(node):
+                return list(self._eval_bgp_stream(node, active_graph))
             results = [EMPTY_BINDING]
             for pattern in node.patterns:
                 partial = self._eval_pattern(pattern, active_graph, dataset)
@@ -197,25 +237,42 @@ class SparqlEvaluator:
             return self._eval_values(node)
         raise EvaluationError(f"unsupported pattern node {type(node).__name__}")
 
+    def _plannable_bgp(self, node: BGP) -> bool:
+        """A BGP is planned when enabled and built only of triple/path patterns."""
+        return self.use_planner and all(
+            isinstance(pattern, (TriplePatternNode, PathPattern))
+            for pattern in node.patterns
+        )
+
+    def _eval_bgp_stream(self, node: BGP, active_graph: Graph) -> Iterator[Binding]:
+        """Plan a BGP and stream its solutions (index-nested-loop pipeline)."""
+        return evaluate_bgp(
+            active_graph, node.patterns, path_evaluator=self._eval_path_pattern
+        )
+
+    def _eval_pattern_stream(
+        self,
+        node: GraphPatternNode,
+        active_graph: Graph,
+        dataset: Dataset,
+    ) -> Iterator[Binding]:
+        """Lazily evaluate a pattern where streaming helps.
+
+        Planned BGPs and FILTERs over them stream; every other node falls
+        back to the materialising :meth:`_eval_pattern`.  Used by ASK and by
+        LIMIT-only SELECTs so they stop as soon as enough solutions exist.
+        """
+        if isinstance(node, BGP) and self._plannable_bgp(node):
+            return self._eval_bgp_stream(node, active_graph)
+        if isinstance(node, Filter):
+            inner = self._eval_pattern_stream(node.pattern, active_graph, dataset)
+            return (
+                binding for binding in inner if satisfies(node.condition, binding)
+            )
+        return iter(self._eval_pattern(node, active_graph, dataset))
+
     def _eval_triple_pattern(self, pattern: Triple, graph: Graph) -> List[Binding]:
-        subject = None if isinstance(pattern.subject, Variable) else pattern.subject
-        predicate = None if isinstance(pattern.predicate, Variable) else pattern.predicate
-        obj = None if isinstance(pattern.object, Variable) else pattern.object
-        results: List[Binding] = []
-        for triple in graph.triples(subject, predicate, obj):
-            mapping: Dict[Variable, Term] = {}
-            consistent = True
-            for pattern_part, triple_part in zip(pattern, triple):
-                if isinstance(pattern_part, Variable):
-                    bound = mapping.get(pattern_part)
-                    if bound is None:
-                        mapping[pattern_part] = triple_part
-                    elif bound != triple_part:
-                        consistent = False
-                        break
-            if consistent:
-                results.append(Binding(mapping))
-        return results
+        return list(match_triple(graph, pattern, EMPTY_BINDING))
 
     def _join(self, left: List[Binding], right: List[Binding]) -> List[Binding]:
         """Bag join of two solution multisets on compatible mappings.
@@ -227,10 +284,10 @@ class SparqlEvaluator:
         if not left or not right:
             return []
         left_vars = set()
-        for binding in left[: min(len(left), 16)]:
+        for binding in left:
             left_vars |= binding.variables()
         right_vars = set()
-        for binding in right[: min(len(right), 16)]:
+        for binding in right:
             right_vars |= binding.variables()
         shared = tuple(sorted(left_vars & right_vars, key=lambda v: v.name))
         results: List[Binding] = []
@@ -246,10 +303,18 @@ class SparqlEvaluator:
             for left_binding in left:
                 key = tuple(left_binding.get(var) for var in shared)
                 if any(value is None for value in key):
-                    candidates: Iterable[Binding] = right
-                else:
-                    candidates = index.get(key, []) + loose_right
-                for right_binding in candidates:
+                    # Some shared variable is unbound on the left: fall back
+                    # to the compatibility check against the full right side.
+                    for right_binding in right:
+                        if left_binding.is_compatible(right_binding):
+                            results.append(left_binding.merge(right_binding))
+                    continue
+                # Both sides bind every shared variable with equal values,
+                # and any variable common to the two bindings is shared —
+                # the mappings are compatible by construction.
+                for right_binding in index.get(key, ()):
+                    results.append(left_binding.merge(right_binding))
+                for right_binding in loose_right:
                     if left_binding.is_compatible(right_binding):
                         results.append(left_binding.merge(right_binding))
         else:
@@ -657,18 +722,39 @@ class SparqlEvaluator:
     def _apply_order_by(
         self, conditions: Sequence[OrderCondition], bindings: List[Binding]
     ) -> List[Binding]:
-        def sort_key(binding: Binding):
-            key = []
-            for condition in conditions:
-                try:
-                    value = evaluate_expression(condition.expression, binding)
-                    part = term_sort_key(value)
-                except ExpressionError:
-                    part = (0, "")
-                key.append(part if condition.ascending else _Reversed(part))
-            return key
+        return apply_order_by(conditions, bindings)
 
-        return sorted(bindings, key=sort_key)
+
+def apply_order_by(
+    conditions: Sequence[OrderCondition], bindings: List[Binding]
+) -> List[Binding]:
+    """Sort bindings by the ORDER BY conditions.
+
+    An unbound (or errored) key sorts strictly before every bound term,
+    for ASC and DESC alike — SPARQL ranks unbound lowest, and we pin
+    unbound rows first in both directions so their placement never flips
+    with the sort direction.  The bound/unbound flag is kept outside the
+    direction-reversing wrapper so it is never inverted, which also
+    guarantees the wrapped values compared against each other are always
+    of the same shape.  Shared by the reference evaluator and the
+    translated-solution engine so both stay order-consistent.
+    """
+
+    def sort_key(binding: Binding):
+        key = []
+        for condition in conditions:
+            try:
+                value = evaluate_expression(condition.expression, binding)
+            except ExpressionError:
+                value = None
+            if value is None:
+                key.append((0, ()))
+            else:
+                part = term_sort_key(value)
+                key.append((1, part if condition.ascending else _Reversed(part)))
+        return key
+
+    return sorted(bindings, key=sort_key)
 
 
 class _Reversed:
@@ -679,7 +765,9 @@ class _Reversed:
     def __init__(self, value) -> None:
         self.value = value
 
-    def __lt__(self, other: "_Reversed") -> bool:
+    def __lt__(self, other: "_Reversed"):
+        if not isinstance(other, _Reversed):
+            return NotImplemented
         return other.value < self.value
 
     def __eq__(self, other: object) -> bool:

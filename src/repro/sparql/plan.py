@@ -1,0 +1,355 @@
+"""Cost-based planning and streaming evaluation of basic graph patterns.
+
+The reference evaluator used to execute BGPs in textual order, fully
+materialising every triple pattern's extension before joining — the
+join-order blindness that the worst-case-optimal-join literature shows can
+be asymptotically catastrophic.  This module replaces that with a small,
+explicit planning pipeline:
+
+1. **Cost model** — :func:`estimate_cardinality` prices a triple or path
+   pattern against the exact incremental statistics kept by
+   :class:`repro.rdf.Graph` (per-predicate cardinalities, distinct
+   subject/object counts).  Patterns whose variables are already bound by
+   earlier plan steps are priced with the classic ``card / distinct``
+   selectivity division.
+
+2. **Greedy ordering** — :func:`plan_bgp` repeatedly picks the cheapest
+   remaining pattern given the variables bound so far, preferring patterns
+   connected to the bound set so Cartesian products are only taken when
+   unavoidable.  The result is a :class:`BGPPlan`: an ordered tuple of
+   :class:`PlanStep` values, i.e. *plans as data* that can be inspected,
+   logged and (in later work) cached or shipped to shards.
+
+3. **Streaming execution** — :func:`execute_plan` runs the ordered plan as
+   an index-nested-loop pipeline: for each partial solution it substitutes
+   the bound variables into the next pattern and probes the graph's
+   SPO/POS/OSP indexes directly, yielding bindings lazily so ASK / LIMIT /
+   short-circuiting consumers never pay for the full extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term, Triple, Variable
+from repro.sparql.algebra import GraphPatternNode, PathPattern, TriplePatternNode
+from repro.sparql.paths import (
+    AlternativePath,
+    InversePath,
+    LinkPath,
+    OneOrMorePath,
+    PropertyPath,
+    RepeatPath,
+    SequencePath,
+    ZeroOrMorePath,
+    ZeroOrOnePath,
+)
+from repro.sparql.solutions import Binding, EMPTY_BINDING
+
+#: Callback evaluating a (possibly partially substituted) path pattern
+#: against a graph; the evaluator passes its own path machinery in so this
+#: module does not depend on the evaluator (avoiding an import cycle).
+PathEvaluator = Callable[[PathPattern, Graph], List[Binding]]
+
+#: Cost multiplier for closure path operators (``+``, ``*``, ``?``): they
+#: expand transitively, so a closure step is priced above the plain link
+#: cardinality to push it behind selective patterns.
+_CLOSURE_COST_FACTOR = 4.0
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One step of a BGP plan: a pattern plus its estimated cardinality."""
+
+    node: GraphPatternNode
+    estimate: float
+    source_index: int
+
+    def __repr__(self) -> str:
+        return f"PlanStep({self.node!r}, est={self.estimate:g})"
+
+
+@dataclass(frozen=True)
+class BGPPlan:
+    """An ordered join plan for a basic graph pattern."""
+
+    steps: Tuple[PlanStep, ...]
+
+    def order(self) -> List[int]:
+        """Return the source indexes of the patterns in execution order."""
+        return [step.source_index for step in self.steps]
+
+    def explain(self) -> str:
+        """Human-readable one-line-per-step rendering of the plan."""
+        lines = []
+        for position, step in enumerate(self.steps):
+            lines.append(
+                f"{position}: est={step.estimate:g} "
+                f"src={step.source_index} {step.node!r}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# cost model
+# ----------------------------------------------------------------------
+def _component(part: Union[Term, Variable]) -> Optional[Term]:
+    """Map a pattern component to an index probe key (variables → None)."""
+    return None if isinstance(part, Variable) else part
+
+
+def estimate_triple_pattern(
+    graph: Graph, triple: Triple, bound: Set[Variable]
+) -> float:
+    """Estimate the number of matches for ``triple`` given bound variables.
+
+    Components that are ground terms are priced exactly via
+    :meth:`Graph.pattern_cardinality`; variable components already in
+    ``bound`` (value unknown at plan time) divide the estimate by the
+    number of distinct terms in that position.
+    """
+    subject = _component(triple.subject)
+    predicate = _component(triple.predicate)
+    obj = _component(triple.object)
+    estimate = float(graph.pattern_cardinality(subject, predicate, obj))
+    if estimate == 0.0:
+        return 0.0
+    if subject is None and triple.subject in bound:
+        estimate /= max(1, graph.distinct_subjects(predicate))
+    if predicate is None and triple.predicate in bound:
+        estimate /= max(1, graph.distinct_predicates())
+    if obj is None and triple.object in bound:
+        estimate /= max(1, graph.distinct_objects(predicate))
+    return estimate
+
+
+def _path_base_cardinality(graph: Graph, path: PropertyPath) -> float:
+    """Rough extension size of a property path, from predicate statistics."""
+    if isinstance(path, LinkPath):
+        return float(graph.predicate_cardinality(path.iri))
+    if isinstance(path, InversePath):
+        return _path_base_cardinality(graph, path.path)
+    if isinstance(path, AlternativePath):
+        return _path_base_cardinality(graph, path.left) + _path_base_cardinality(
+            graph, path.right
+        )
+    if isinstance(path, SequencePath):
+        # A sequence joins on the middle node; its size is bounded above by
+        # the product but is typically closer to the larger side.
+        left = _path_base_cardinality(graph, path.left)
+        right = _path_base_cardinality(graph, path.right)
+        return max(left, right)
+    if isinstance(path, (OneOrMorePath, ZeroOrMorePath, ZeroOrOnePath)):
+        return _path_base_cardinality(graph, path.path) * _CLOSURE_COST_FACTOR
+    if isinstance(path, RepeatPath):
+        return _path_base_cardinality(graph, path.path) * _CLOSURE_COST_FACTOR
+    return float(len(graph))
+
+
+def _matches_zero_length(path: PropertyPath) -> bool:
+    """True when the path admits zero-length matches (pairs every node).
+
+    Zero-length admission propagates through inverse, closure and
+    repetition operators (``p{0,}`` directly; ``p+`` / ``p{n,}`` when the
+    inner path itself admits zero length), through either side of an
+    alternative, and through a sequence only when both halves admit it.
+    """
+    if isinstance(path, (ZeroOrMorePath, ZeroOrOnePath)):
+        return True
+    if isinstance(path, (InversePath, OneOrMorePath)):
+        return _matches_zero_length(path.path)
+    if isinstance(path, RepeatPath):
+        return path.minimum == 0 or _matches_zero_length(path.path)
+    if isinstance(path, AlternativePath):
+        return _matches_zero_length(path.left) or _matches_zero_length(path.right)
+    if isinstance(path, SequencePath):
+        return _matches_zero_length(path.left) and _matches_zero_length(path.right)
+    return False
+
+
+def estimate_path_pattern(
+    graph: Graph, node: PathPattern, bound: Set[Variable]
+) -> float:
+    """Estimate the result size of a path pattern given bound variables."""
+    estimate = _path_base_cardinality(graph, node.path)
+    if _matches_zero_length(node.path):
+        # Zero-length semantics pair every graph node with itself, so these
+        # paths are never free even when the underlying predicate is absent.
+        estimate = max(estimate, float(len(graph)))
+    elif estimate == 0.0:
+        return 0.0
+    subject_bound = not isinstance(node.subject, Variable) or node.subject in bound
+    object_bound = not isinstance(node.object, Variable) or node.object in bound
+    if subject_bound:
+        estimate /= max(1, graph.distinct_subjects())
+    if object_bound:
+        estimate /= max(1, graph.distinct_objects())
+    return estimate
+
+
+def estimate_cardinality(
+    graph: Graph, node: GraphPatternNode, bound: Set[Variable]
+) -> float:
+    """Estimate the cardinality of a plannable pattern node."""
+    if isinstance(node, TriplePatternNode):
+        return estimate_triple_pattern(graph, node.triple, bound)
+    if isinstance(node, PathPattern):
+        return estimate_path_pattern(graph, node, bound)
+    raise TypeError(f"cannot estimate {type(node).__name__}")
+
+
+# ----------------------------------------------------------------------
+# greedy join ordering
+# ----------------------------------------------------------------------
+def plan_bgp(graph: Graph, patterns: Sequence[GraphPatternNode]) -> BGPPlan:
+    """Greedily order ``patterns`` by estimated cardinality.
+
+    At each step the cheapest pattern among those sharing a variable with
+    the already-bound set is chosen (all patterns qualify at the first
+    step or when nothing is bound yet); a disconnected pattern — i.e. a
+    Cartesian product — is only chosen when no connected pattern remains.
+    Ties fall back to source order, keeping planning deterministic.
+    """
+    remaining: List[Tuple[int, GraphPatternNode]] = list(enumerate(patterns))
+    bound: Set[Variable] = set()
+    steps: List[PlanStep] = []
+    while remaining:
+        candidates = [
+            (index, node)
+            for index, node in remaining
+            if not bound or not node.variables() or node.variables() & bound
+        ]
+        if not candidates:
+            candidates = remaining
+        best_index, best_node, best_estimate = None, None, None
+        for index, node in candidates:
+            estimate = estimate_cardinality(graph, node, bound)
+            if best_estimate is None or estimate < best_estimate:
+                best_index, best_node, best_estimate = index, node, estimate
+        steps.append(PlanStep(best_node, best_estimate, best_index))
+        bound |= best_node.variables()
+        remaining = [(i, n) for i, n in remaining if i != best_index]
+    return BGPPlan(tuple(steps))
+
+
+# ----------------------------------------------------------------------
+# streaming index-nested-loop execution
+# ----------------------------------------------------------------------
+def match_triple(
+    graph: Graph, pattern: Triple, binding: Binding
+) -> Iterator[Binding]:
+    """Yield extensions of ``binding`` matching ``pattern`` via index probes.
+
+    Variables bound in ``binding`` are substituted into the pattern before
+    probing, so the most selective available index is always used.
+    """
+    parts: List[Optional[Term]] = []
+    for part in pattern:
+        if isinstance(part, Variable):
+            parts.append(binding.get(part))
+        else:
+            parts.append(part)
+    subject, predicate, obj = parts
+    for triple in graph.triples(subject, predicate, obj):
+        mapping: Dict[Variable, Term] = {}
+        consistent = True
+        for pattern_part, probe_part, triple_part in zip(pattern, parts, triple):
+            if probe_part is not None or not isinstance(pattern_part, Variable):
+                continue
+            existing = mapping.get(pattern_part)
+            if existing is None:
+                mapping[pattern_part] = triple_part
+            elif existing != triple_part:
+                consistent = False
+                break
+        if consistent:
+            yield binding.merge(Binding(mapping)) if mapping else binding
+
+
+def _match_path(
+    graph: Graph,
+    node: PathPattern,
+    binding: Binding,
+    path_evaluator: PathEvaluator,
+) -> Iterator[Binding]:
+    """Yield extensions of ``binding`` matching a path pattern.
+
+    Bound endpoint variables are substituted before evaluation so closure
+    operators expand from a single node instead of the whole graph.
+
+    Substitution must not change semantics: a *syntactic* constant
+    endpoint of a zero-length-admitting path (``?``, ``*``) matches
+    itself even when it is not a node of the graph, but a variable
+    endpoint only ever ranges over graph nodes, so a substituted value
+    that is not a node cannot produce any solution — neither a
+    zero-length one (join semantics pair only nodes of G) nor an edge
+    traversal (a non-node has no edges).
+    """
+    substituted = False
+    subject = node.subject
+    if isinstance(subject, Variable):
+        value = binding.get(subject)
+        if value is not None:
+            subject = value
+            substituted = True
+    obj = node.object
+    if isinstance(obj, Variable):
+        value = binding.get(obj)
+        if value is not None:
+            obj = value
+            substituted = True
+    if substituted and _matches_zero_length(node.path):
+        for endpoint, original in ((subject, node.subject), (obj, node.object)):
+            if endpoint is not original and not (
+                graph.subject_cardinality(endpoint)
+                or graph.object_cardinality(endpoint)
+            ):
+                return
+    substituted = (
+        node
+        if subject is node.subject and obj is node.object
+        else PathPattern(subject, node.path, obj)
+    )
+    for result in path_evaluator(substituted, graph):
+        # Substitution removed every variable already bound, so the result
+        # binds only fresh variables and the merge is always compatible.
+        yield binding.merge(result) if len(result) else binding
+
+
+def execute_plan(
+    plan: BGPPlan,
+    graph: Graph,
+    path_evaluator: Optional[PathEvaluator] = None,
+    initial: Binding = EMPTY_BINDING,
+) -> Iterator[Binding]:
+    """Run a plan as a streaming index-nested-loop pipeline."""
+    steps = plan.steps
+
+    def recurse(position: int, binding: Binding) -> Iterator[Binding]:
+        if position == len(steps):
+            yield binding
+            return
+        node = steps[position].node
+        if isinstance(node, TriplePatternNode):
+            matches: Iterator[Binding] = match_triple(graph, node.triple, binding)
+        elif isinstance(node, PathPattern):
+            if path_evaluator is None:
+                raise TypeError("plan contains a path pattern but no path evaluator")
+            matches = _match_path(graph, node, binding, path_evaluator)
+        else:  # pragma: no cover - plan_bgp only admits the two kinds above
+            raise TypeError(f"unsupported plan node {type(node).__name__}")
+        for extended in matches:
+            yield from recurse(position + 1, extended)
+
+    return recurse(0, initial)
+
+
+def evaluate_bgp(
+    graph: Graph,
+    patterns: Sequence[GraphPatternNode],
+    path_evaluator: Optional[PathEvaluator] = None,
+) -> Iterator[Binding]:
+    """Plan and lazily evaluate a basic graph pattern."""
+    return execute_plan(plan_bgp(graph, patterns), graph, path_evaluator)

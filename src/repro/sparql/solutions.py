@@ -86,6 +86,10 @@ class Binding:
 
     def merge(self, other: "Binding") -> "Binding":
         """Union of two compatible mappings."""
+        if not other._items:
+            return self
+        if not self._items:
+            return other
         merged = dict(other._items)
         merged.update(dict(self._items))
         return Binding(merged)

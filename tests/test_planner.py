@@ -1,0 +1,277 @@
+"""Tests for the cost-based BGP planner and the graph statistics API."""
+
+from itertools import islice
+
+import pytest
+
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.terms import IRI, Triple, Variable
+from repro.sparql.algebra import BGP, PathPattern, TriplePatternNode
+from repro.sparql.evaluator import SparqlEvaluator
+from repro.sparql.parser import parse_query
+from repro.sparql.paths import LinkPath, OneOrMorePath
+from repro.sparql.plan import evaluate_bgp, plan_bgp
+
+from tests.helpers import EX, countries_dataset, rows_multiset
+
+PREFIX = "PREFIX ex: <http://ex.org/>\n"
+
+
+def tp(subject, predicate, obj) -> TriplePatternNode:
+    return TriplePatternNode(Triple(subject, predicate, obj))
+
+
+def star_graph(n_subjects: int = 50, fanout: int = 3) -> Graph:
+    """Many subjects with :a / :b edges, exactly one with a :selective edge."""
+    graph = Graph()
+    for i in range(n_subjects):
+        subject = EX[f"s{i}"]
+        for j in range(fanout):
+            graph.add(Triple(subject, EX.a, EX[f"a{i}_{j}"]))
+            graph.add(Triple(subject, EX.b, EX[f"b{i}_{j}"]))
+    graph.add(Triple(EX.s0, EX.selective, EX.target))
+    return graph
+
+
+class TestGraphStatistics:
+    def test_cardinalities_track_adds(self):
+        graph = star_graph(10, 2)
+        assert graph.predicate_cardinality(EX.a) == 20
+        assert graph.predicate_cardinality(EX.selective) == 1
+        assert graph.subject_cardinality(EX.s0) == 5
+        assert graph.object_cardinality(EX.target) == 1
+        assert graph.distinct_subjects(EX.a) == 10
+        assert graph.distinct_objects(EX.a) == 20
+        assert graph.distinct_predicates() == 3
+
+    def test_cardinalities_track_removes(self):
+        graph = star_graph(4, 2)
+        graph.remove(Triple(EX.s0, EX.selective, EX.target))
+        assert graph.predicate_cardinality(EX.selective) == 0
+        assert graph.distinct_predicates() == 2
+        for j in range(2):
+            graph.remove(Triple(EX.s1, EX.a, EX[f"a1_{j}"]))
+        assert graph.distinct_subjects(EX.a) == 3
+        assert graph.subject_cardinality(EX.s1) == 2  # the :b edges remain
+
+    def test_pattern_cardinality_exact_for_every_shape(self):
+        graph = countries_dataset().default_graph
+        assert graph.pattern_cardinality() == 5
+        assert graph.pattern_cardinality(subject=EX.france) == 2
+        assert graph.pattern_cardinality(predicate=EX.borders) == 5
+        assert graph.pattern_cardinality(obj=EX.germany) == 2
+        assert graph.pattern_cardinality(EX.france, EX.borders) == 2
+        assert graph.pattern_cardinality(None, EX.borders, EX.germany) == 2
+        assert graph.pattern_cardinality(EX.spain, None, EX.france) == 1
+        assert graph.pattern_cardinality(EX.spain, EX.borders, EX.france) == 1
+        assert graph.pattern_cardinality(EX.spain, EX.borders, EX.austria) == 0
+
+
+class TestPlanBGP:
+    def test_star_selects_selective_pattern_first(self):
+        graph = star_graph()
+        v, x, y = Variable("v"), Variable("x"), Variable("y")
+        patterns = [
+            tp(v, EX.a, x),
+            tp(v, EX.b, y),
+            tp(v, EX.selective, EX.target),  # listed last, must run first
+        ]
+        plan = plan_bgp(graph, patterns)
+        assert plan.order()[0] == 2
+        assert plan.steps[0].estimate <= 1.0
+
+    def test_chain_propagates_bound_variables(self):
+        # ?x :p ?y . ?y :q ?z with a single :q edge: the :q pattern goes
+        # first and the :p pattern is then priced as a bound probe.
+        graph = Graph()
+        for i in range(20):
+            graph.add(Triple(EX[f"x{i}"], EX.p, EX[f"y{i}"]))
+        graph.add(Triple(EX.y0, EX.q, EX.z0))
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        plan = plan_bgp(graph, [tp(x, EX.p, y), tp(y, EX.q, z)])
+        assert plan.order() == [1, 0]
+        # The second step's estimate reflects the bound join variable.
+        assert plan.steps[1].estimate < 20
+
+    def test_disconnected_pattern_chosen_last(self):
+        graph = star_graph(10, 2)
+        v, x, w, u = Variable("v"), Variable("x"), Variable("w"), Variable("u")
+        patterns = [
+            tp(w, EX.b, u),  # disconnected from the other two
+            tp(v, EX.selective, EX.target),
+            tp(v, EX.a, x),
+        ]
+        plan = plan_bgp(graph, patterns)
+        assert plan.order()[-1] == 0
+
+    def test_ground_pattern_is_maximally_selective(self):
+        graph = countries_dataset().default_graph
+        a, b = Variable("a"), Variable("b")
+        plan = plan_bgp(
+            graph, [tp(a, EX.borders, b), tp(EX.spain, EX.borders, EX.france)]
+        )
+        assert plan.order() == [1, 0]
+
+    def test_zero_or_more_over_absent_predicate_not_priced_free(self):
+        # Regression: p*/p? over a predicate with no triples was priced at
+        # 0 and scheduled first, even though zero-length semantics make it
+        # match every node; the selective ground pattern must go first.
+        from repro.sparql.paths import ZeroOrMorePath
+
+        graph = Graph()
+        for i in range(50):
+            graph.add(Triple(EX[f"s{i}"], EX.q, EX[f"o{i}"]))
+        x, y = Variable("x"), Variable("y")
+        patterns = [
+            PathPattern(x, ZeroOrMorePath(LinkPath(EX.absent)), y),
+            tp(y, EX.q, EX.o0),
+        ]
+        plan = plan_bgp(graph, patterns)
+        assert plan.order() == [1, 0]
+
+    def test_nested_closure_not_priced_free(self):
+        # Zero-length admission propagates through inverse/alternative
+        # wrappers: ^(p*) and (p*|q) still pair every node with itself.
+        from repro.sparql.paths import AlternativePath, InversePath, ZeroOrMorePath
+
+        graph = Graph()
+        for i in range(50):
+            graph.add(Triple(EX[f"s{i}"], EX.q, EX[f"o{i}"]))
+        x, y = Variable("x"), Variable("y")
+        for path in (
+            InversePath(ZeroOrMorePath(LinkPath(EX.absent))),
+            AlternativePath(ZeroOrMorePath(LinkPath(EX.absent)), LinkPath(EX.also_absent)),
+        ):
+            plan = plan_bgp(graph, [PathPattern(x, path, y), tp(y, EX.q, EX.o0)])
+            assert plan.order() == [1, 0], repr(path)
+
+    def test_explain_renders_one_line_per_step(self):
+        graph = star_graph()
+        v, x = Variable("v"), Variable("x")
+        plan = plan_bgp(graph, [tp(v, EX.a, x), tp(v, EX.selective, EX.target)])
+        explanation = plan.explain()
+        assert len(explanation.splitlines()) == 2
+        assert "est=" in explanation
+
+
+class TestStreamingExecution:
+    def test_streaming_matches_naive_join(self):
+        graph = star_graph(20, 2)
+        v, x, y = Variable("v"), Variable("x"), Variable("y")
+        patterns = [tp(v, EX.a, x), tp(v, EX.b, y), tp(v, EX.selective, EX.target)]
+        streamed = list(evaluate_bgp(graph, patterns))
+        assert len(streamed) == 4  # 2 :a edges x 2 :b edges of s0
+        assert all(binding[v] == EX.s0 for binding in streamed)
+
+    def test_execution_is_lazy(self):
+        class CountingGraph(Graph):
+            probes = 0
+
+            def triples(self, subject=None, predicate=None, obj=None):
+                CountingGraph.probes += 1
+                return super().triples(subject, predicate, obj)
+
+        graph = CountingGraph()
+        for i in range(100):
+            graph.add(Triple(EX[f"s{i}"], EX.p, EX[f"o{i}"]))
+        v, o = Variable("v"), Variable("o")
+        stream = evaluate_bgp(graph, [tp(v, EX.p, o)])
+        CountingGraph.probes = 0
+        first = next(iter(stream))
+        assert first is not None
+        # One probe produced the first solution; the other 99 were not paid.
+        assert CountingGraph.probes == 1
+
+    def test_repeated_variable_within_pattern(self):
+        graph = Graph([Triple(EX.a, EX.p, EX.a), Triple(EX.a, EX.p, EX.b)])
+        x = Variable("x")
+        results = list(evaluate_bgp(graph, [tp(x, EX.p, x)]))
+        assert len(results) == 1
+        assert results[0][x] == EX.a
+
+    def test_path_pattern_endpoint_substitution(self):
+        graph = Graph()
+        for i in range(5):
+            graph.add(Triple(EX[f"n{i}"], EX.next, EX[f"n{i+1}"]))
+        graph.add(Triple(EX.n0, EX.start, EX.go))
+        evaluator = SparqlEvaluator(Dataset.from_graph(graph))
+        v, end = Variable("v"), Variable("end")
+        patterns = [
+            PathPattern(v, OneOrMorePath(LinkPath(EX.next)), end),
+            tp(v, EX.start, EX.go),
+        ]
+        plan = plan_bgp(graph, patterns)
+        # The selective triple pattern must be probed before the closure.
+        assert plan.order() == [1, 0]
+        results = list(
+            evaluate_bgp(graph, patterns, path_evaluator=evaluator._eval_path_pattern)
+        )
+        assert {binding[end] for binding in results} == {
+            EX[f"n{i}"] for i in range(1, 6)
+        }
+        assert all(binding[v] == EX.n0 for binding in results)
+
+
+class TestZeroLengthPathSubstitution:
+    def test_substituted_non_node_endpoint_yields_nothing(self):
+        # Regression: substituting a bound variable into p?/p* used to make
+        # the evaluator treat it like a syntactic constant, which matches
+        # itself even off-graph; a variable endpoint only ranges over nodes.
+        graph = Graph([Triple(EX.s, EX.a, EX.o)])
+        ds = Dataset.from_graph(graph)
+        query = parse_query(
+            PREFIX + "SELECT ?p ?z WHERE { ?s ?p ?o . ?p ex:q? ?z }"
+        )
+        planned = SparqlEvaluator(ds).evaluate(query)
+        naive = SparqlEvaluator(ds, use_planner=False).evaluate(query)
+        assert rows_multiset(planned) == rows_multiset(naive)
+        assert len(planned) == 0
+
+    def test_repeat_and_nested_closure_zero_length_guard(self):
+        # RepeatPath{0,} and p+ over a zero-admitting inner path also admit
+        # zero-length matches; the substitution guard must cover them.
+        graph = Graph([Triple(EX.s, EX.P, EX.o)])
+        ds = Dataset.from_graph(graph)
+        for path_text in ("ex:q{0,}", "(ex:q?)+", "ex:q{0,2}"):
+            query = parse_query(
+                PREFIX + "SELECT ?p ?z WHERE { ?s ?p ?o . ?p " + path_text + " ?z }"
+            )
+            planned = SparqlEvaluator(ds).evaluate(query)
+            naive = SparqlEvaluator(ds, use_planner=False).evaluate(query)
+            assert rows_multiset(planned) == rows_multiset(naive), path_text
+            assert len(planned) == 0, path_text
+
+    def test_substituted_node_endpoint_keeps_zero_length_match(self):
+        graph = Graph([Triple(EX.s, EX.a, EX.o)])
+        ds = Dataset.from_graph(graph)
+        query = parse_query(
+            PREFIX + "SELECT ?s ?z WHERE { ?s ?p ?o . ?s ex:q* ?z }"
+        )
+        planned = SparqlEvaluator(ds).evaluate(query)
+        naive = SparqlEvaluator(ds, use_planner=False).evaluate(query)
+        assert rows_multiset(planned) == rows_multiset(naive)
+        assert (EX.s, EX.s) in planned.to_set()
+
+
+class TestPlannedEvaluatorEquivalence:
+    QUERIES = [
+        "SELECT ?a ?c WHERE { ?a ex:borders ?b . ?b ex:borders ?c }",
+        "SELECT ?a WHERE { ?a ex:borders ex:germany . ?a ex:borders ?b }",
+        "SELECT ?n WHERE { ?x ex:name ?n . ?y ex:name ?n }",
+        "ASK WHERE { ?a ex:borders ?b . ?b ex:borders ex:austria }",
+        "SELECT ?a ?b WHERE { ?a ex:borders ?b } LIMIT 2",
+    ]
+
+    @pytest.mark.parametrize("query_text", QUERIES)
+    def test_planned_equals_naive(self, query_text):
+        dataset = countries_dataset()
+        query = parse_query(PREFIX + query_text)
+        planned = SparqlEvaluator(dataset).evaluate(query)
+        naive = SparqlEvaluator(dataset, use_planner=False).evaluate(query)
+        if isinstance(planned, bool):
+            assert planned == naive
+        elif "LIMIT" in query_text:
+            # LIMIT without ORDER BY may pick different rows; compare sizes.
+            assert len(planned) == len(naive)
+        else:
+            assert rows_multiset(planned) == rows_multiset(naive)

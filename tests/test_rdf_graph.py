@@ -51,6 +51,40 @@ class TestGraph:
         graph.remove(Triple(EX.spain, EX.borders, EX.france))
         assert len(graph) == 4
 
+    def test_remove_prunes_index_shells(self):
+        # Regression: remove() used to leave empty inner sets and dict
+        # shells behind, so term accessors reported stale terms and memory
+        # grew monotonically under add/remove churn.
+        graph = Graph()
+        triple = Triple(EX.a, EX.p, EX.b)
+        graph.add(triple)
+        graph.remove(triple)
+        assert graph.subjects() == set()
+        assert graph.predicates() == set()
+        assert graph.objects() == set()
+        assert graph.terms() == set()
+        assert graph.nodes() == set()
+        assert graph._spo == {} and graph._pos == {} and graph._osp == {}
+
+    def test_remove_churn_keeps_memory_bounded(self):
+        graph = Graph()
+        for i in range(200):
+            triple = Triple(EX[f"s{i}"], EX.p, EX[f"o{i}"])
+            graph.add(triple)
+            graph.remove(triple)
+        assert len(graph) == 0
+        assert len(graph._spo) == 0
+        assert len(graph._pos) == 0
+        assert len(graph._osp) == 0
+        assert graph.predicate_cardinality(EX.p) == 0
+
+    def test_remove_keeps_sibling_entries(self):
+        graph = countries_graph()
+        graph.remove(Triple(EX.france, EX.borders, EX.belgium))
+        assert EX.france in graph.subjects()  # still borders germany
+        assert EX.belgium not in graph.objects()
+        assert graph.objects_for(EX.france, EX.borders) == {EX.germany}
+
     def test_subjects_predicates_objects(self):
         graph = countries_graph()
         assert EX.spain in graph.subjects()

@@ -165,6 +165,82 @@ class TestFiltersAndModifiers:
         assert all(row[0] in {EX.spain, EX.france} for row in result.rows())
 
 
+class TestJoinSharedVariables:
+    def test_heterogeneous_union_join_is_exact(self):
+        # Regression: _join used to infer shared variables from only the
+        # first 16 bindings per side, so a shared variable appearing later
+        # in a heterogeneous sequence (e.g. from UNION) was missed and the
+        # join silently misbehaved on large inputs.
+        graph = Graph()
+        for i in range(40):
+            graph.add(Triple(EX[f"s{i}"], EX.p, EX[f"o{i}"]))
+        graph.add(Triple(EX.special, EX.q, EX.o0))
+        graph.add(Triple(EX.o0, EX.r, EX.hit))
+        dataset = Dataset.from_graph(graph)
+        # Left side of the join: 40 {?y} rows from ex:p plus one {?x ?y}
+        # row from ex:q — the ?x variable only appears past position 16.
+        result = run(
+            dataset,
+            "SELECT ?x ?z WHERE { "
+            "{ { ?a ex:p ?y } UNION { ?x ex:q ?y } } . ?y ex:r ?z }",
+        )
+        assert (EX.special, EX.hit) in result.to_set()
+
+    def test_join_with_unbound_shared_variable_on_left(self):
+        result = run(
+            directors_dataset(),
+            "SELECT ?n ?l WHERE { "
+            "{ { ?x ex:name ?n } UNION { ?y ex:lastname ?l } } . ?x ex:lastname ?l }",
+        )
+        rows = result.to_set()
+        # The UNION row binding only ?l joins with the ?x/?l pattern.
+        assert (None, Literal("Lucas")) in rows
+        assert (Literal("George"), Literal("Lucas")) in rows
+
+
+class TestOrderByEdgeCases:
+    def _optional_dataset(self):
+        return directors_dataset()
+
+    def test_unbound_sorts_first_ascending(self):
+        result = run(
+            self._optional_dataset(),
+            "SELECT ?n ?l WHERE { ?x ex:name ?n OPTIONAL { ?x ex:lastname ?l } } "
+            "ORDER BY ?l",
+        )
+        rows = result.rows()
+        assert rows[0][1] is None  # Steven's unbound lastname first
+        assert rows[1][1] == Literal("Lucas")
+
+    def test_unbound_sorts_first_descending_too(self):
+        # Regression: the error key (0, "") was wrapped by the DESC
+        # inverter, so unbound rows flipped position with the direction;
+        # they are pinned strictly first for both ASC and DESC.
+        result = run(
+            self._optional_dataset(),
+            "SELECT ?n ?l WHERE { ?x ex:name ?n OPTIONAL { ?x ex:lastname ?l } } "
+            "ORDER BY DESC(?l)",
+        )
+        rows = result.rows()
+        assert rows[0][1] is None
+        assert rows[1][1] == Literal("Lucas")
+
+    def test_mixed_direction_keys(self):
+        result = run(
+            countries_dataset(),
+            "SELECT ?a ?b WHERE { ?a ex:borders ?b } ORDER BY DESC(?a) ?b",
+        )
+        subjects = [row[0].value for row in result.rows()]
+        assert subjects == sorted(subjects, reverse=True)
+
+    def test_reversed_wrapper_rejects_foreign_comparand(self):
+        from repro.sparql.evaluator import _Reversed
+
+        with pytest.raises(TypeError):
+            _Reversed((1, "a")) < (1, "a")
+        assert _Reversed((1, "a")) != (1, "a")
+
+
 class TestNamedGraphs:
     def _dataset(self):
         dataset = Dataset.from_graph(countries_dataset().default_graph)
