@@ -37,6 +37,16 @@ from repro.rdf import (
     parse_ntriples,
     parse_turtle,
 )
+from repro.store import (
+    EncodedGraph,
+    TermDictionary,
+    bulk_load_ntriples,
+    bulk_load_path,
+    bulk_load_turtle,
+    create_graph,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.sparql import SparqlEvaluator, parse_query
 from repro.core import Ontology, SparqLogEngine
 from repro.baselines import (
@@ -50,6 +60,7 @@ __version__ = "1.0.0"
 __all__ = [
     "BlankNode",
     "Dataset",
+    "EncodedGraph",
     "Graph",
     "IRI",
     "Literal",
@@ -59,11 +70,18 @@ __all__ = [
     "SparqLogEngine",
     "SparqlEvaluator",
     "StardogLikeEngine",
+    "TermDictionary",
     "Triple",
     "Variable",
     "VirtuosoLikeEngine",
+    "bulk_load_ntriples",
+    "bulk_load_path",
+    "bulk_load_turtle",
+    "create_graph",
+    "load_snapshot",
     "parse_ntriples",
     "parse_query",
     "parse_turtle",
+    "save_snapshot",
     "__version__",
 ]

@@ -50,6 +50,9 @@ class ExperimentConfig:
     query_limit: Optional[int] = None
     timeout_seconds: float = 10.0
     seed: int = 1
+    #: Storage backend for the generated workload graphs (see
+    #: :mod:`repro.store`): ``None`` (process default), "hash" or "encoded".
+    backend: Optional[str] = None
 
     def limited(self, queries: Sequence) -> List:
         if self.query_limit is None:
@@ -158,15 +161,31 @@ def table2_benchmark_features(config: Optional[ExperimentConfig] = None) -> str:
     """Analyse the generated workloads and print them next to the paper's values."""
     config = config or ExperimentConfig()
     workloads = [
-        ("SP2Bench", SP2BenchWorkload(scale=config.scale, seed=config.seed).queries()),
-        ("FEASIBLE (S)", FeasibleWorkload(scale=config.scale, seed=config.seed).queries()),
+        (
+            "SP2Bench",
+            SP2BenchWorkload(
+                scale=config.scale, seed=config.seed, backend=config.backend
+            ).queries(),
+        ),
+        (
+            "FEASIBLE (S)",
+            FeasibleWorkload(
+                scale=config.scale, seed=config.seed, backend=config.backend
+            ).queries(),
+        ),
         (
             "gMark Social",
-            GMarkWorkload(social_scenario(), scale=config.scale, seed=config.seed).queries(),
+            GMarkWorkload(
+                social_scenario(), scale=config.scale, seed=config.seed,
+                backend=config.backend,
+            ).queries(),
         ),
         (
             "gMark Test",
-            GMarkWorkload(test_scenario(), scale=config.scale, seed=config.seed).queries(),
+            GMarkWorkload(
+                test_scenario(), scale=config.scale, seed=config.seed,
+                backend=config.backend,
+            ).queries(),
         ),
     ]
     headers = ["Benchmark", "Queries"] + [abbrev for _, abbrev in TABLE2_COLUMNS]
@@ -192,7 +211,7 @@ def table3_beseppi_compliance(
 ) -> Tuple[ComplianceReport, str]:
     """Run the BeSEPPI-like suite on the three engines and tabulate errors."""
     config = config or ExperimentConfig()
-    workload = BeSEPPIWorkload()
+    workload = BeSEPPIWorkload(backend=config.backend)
     queries = config.limited(workload.queries())
     engines = [
         VirtuosoLikeEngine(workload.dataset()),
@@ -255,8 +274,8 @@ def feasible_sp2bench_compliance(
     reports: Dict[str, ComplianceReport] = {}
     lines: List[str] = []
     for workload in (
-        FeasibleWorkload(scale=config.scale, seed=config.seed),
-        SP2BenchWorkload(scale=config.scale, seed=config.seed),
+        FeasibleWorkload(scale=config.scale, seed=config.seed, backend=config.backend),
+        SP2BenchWorkload(scale=config.scale, seed=config.seed, backend=config.backend),
     ):
         dataset = workload.dataset()
         engines = [
@@ -299,7 +318,9 @@ def figure7_sp2bench_performance(
     config: Optional[ExperimentConfig] = None,
 ) -> PerformanceSeries:
     config = config or ExperimentConfig()
-    workload = SP2BenchWorkload(scale=config.scale, seed=config.seed)
+    workload = SP2BenchWorkload(
+        scale=config.scale, seed=config.seed, backend=config.backend
+    )
     queries = config.limited(workload.queries())
     return _run_performance(
         "SP2Bench (Figure 7)",
@@ -319,7 +340,7 @@ def figure8_gmark_social(
     config = config or ExperimentConfig()
     workload = GMarkWorkload(
         social_scenario(), scale=config.scale, seed=config.seed,
-        query_count=config.query_limit,
+        query_count=config.query_limit, backend=config.backend,
     )
     return _run_performance(
         "gMark Social (Figure 8)",
@@ -336,7 +357,7 @@ def figure9_gmark_test(
     config = config or ExperimentConfig()
     workload = GMarkWorkload(
         test_scenario(), scale=config.scale, seed=config.seed,
-        query_count=config.query_limit,
+        query_count=config.query_limit, backend=config.backend,
     )
     return _run_performance(
         "gMark Test (Figure 9)",
@@ -369,9 +390,15 @@ def table7_8_gmark_summary(series: PerformanceSeries) -> str:
 def table6_benchmark_statistics(config: Optional[ExperimentConfig] = None) -> str:
     config = config or ExperimentConfig()
     workloads = [
-        GMarkWorkload(social_scenario(), scale=config.scale, seed=config.seed),
-        GMarkWorkload(test_scenario(), scale=config.scale, seed=config.seed),
-        SP2BenchWorkload(scale=config.scale, seed=config.seed),
+        GMarkWorkload(
+            social_scenario(), scale=config.scale, seed=config.seed,
+            backend=config.backend,
+        ),
+        GMarkWorkload(
+            test_scenario(), scale=config.scale, seed=config.seed,
+            backend=config.backend,
+        ),
+        SP2BenchWorkload(scale=config.scale, seed=config.seed, backend=config.backend),
     ]
     headers = ["Benchmark", "#Triples", "#Predicates", "#Queries"]
     rows = []
@@ -395,7 +422,9 @@ def figure10_ontology(
     config: Optional[ExperimentConfig] = None,
 ) -> PerformanceSeries:
     config = config or ExperimentConfig()
-    benchmark = OntologyBenchmark(scale=config.scale, seed=config.seed)
+    benchmark = OntologyBenchmark(
+        scale=config.scale, seed=config.seed, backend=config.backend
+    )
     queries = config.limited(benchmark.queries())
     engine_factories = {
         "SparqLog": lambda dataset: SparqLogEngine(

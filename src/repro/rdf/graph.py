@@ -48,9 +48,22 @@ class Graph:
         self._predicate_counts: Counter = Counter()
         self._object_counts: Counter = Counter()
         self._pred_subject_counts: Dict[Term, Counter] = defaultdict(Counter)
+        self._version = 0
         if triples:
             for triple in triples:
                 self.add(triple)
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing mutation stamp.
+
+        Incremented on every *effective* mutation (a new triple added or an
+        existing one removed), so any consumer caching work derived from
+        the graph's contents — e.g. the evaluator's BGP plan cache — can
+        key on ``(id(graph), graph.version)`` and invalidate exactly when
+        the contents change.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # mutation
@@ -70,6 +83,7 @@ class Graph:
         self._predicate_counts[predicate] += 1
         self._object_counts[obj] += 1
         self._pred_subject_counts[predicate][subject] += 1
+        self._version += 1
 
     def add_triple(self, subject: Term, predicate: Term, obj: Term) -> None:
         """Convenience wrapper to add a triple from its components."""
@@ -102,6 +116,7 @@ class Graph:
         self._decrement(per_subject, subject)
         if not per_subject:
             del self._pred_subject_counts[predicate]
+        self._version += 1
 
     @staticmethod
     def _prune_index(

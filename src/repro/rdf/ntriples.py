@@ -8,7 +8,7 @@ of surrounding whitespace and comment lines starting with ``#``.
 from __future__ import annotations
 
 import re
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, List, Tuple
 
 from repro.rdf.graph import Graph
 from repro.rdf.terms import BlankNode, IRI, Literal, Term, Triple
@@ -23,10 +23,24 @@ class NTriplesParseError(ValueError):
         self.line = line
 
 
-_IRI_RE = re.compile(r"<([^<>\"{}|^`\\\s]*)>")
-_BNODE_RE = re.compile(r"_:([A-Za-z0-9_\-\.]+)")
+# Shared token fragments: the capturing term regexes below and the bulk
+# loader's statement regex (repro.store.bulk) are built from these, so the
+# fast path and the strict parser always accept the same dialect.
+_IRI_BODY = r'[^<>"{}|^`\\\s]*'
+_BNODE_LABEL = r"[A-Za-z0-9_\-\.]+"
+#: BCP-47 language tags: an initial alphabetic subtag followed by
+#: alphanumeric subtags (``es-419``, ``de-CH-1901``), separated by ``-``.
+LANG_TAG_PATTERN = r"[a-zA-Z]+(?:-[a-zA-Z0-9]+)*"
+IRI_TOKEN_PATTERN = "<" + _IRI_BODY + ">"
+BNODE_TOKEN_PATTERN = "_:" + _BNODE_LABEL
+LITERAL_TOKEN_PATTERN = (
+    r'"(?:[^"\\]|\\.)*"(?:@' + LANG_TAG_PATTERN + r"|\^\^<[^<>\s]+>)?"
+)
+
+_IRI_RE = re.compile("<(" + _IRI_BODY + ")>")
+_BNODE_RE = re.compile("_:(" + _BNODE_LABEL + ")")
 _LITERAL_RE = re.compile(
-    r'"((?:[^"\\]|\\.)*)"(?:@([a-zA-Z\-]+)|\^\^<([^<>\s]+)>)?'
+    r'"((?:[^"\\]|\\.)*)"(?:@(' + LANG_TAG_PATTERN + r')|\^\^<([^<>\s]+)>)?'
 )
 
 _ESCAPES = {
@@ -88,22 +102,29 @@ def _parse_term(fragment: str, line_number: int, line: str) -> tuple:
     raise NTriplesParseError("cannot parse term", line_number, line)
 
 
+def parse_statement(line: str, line_number: int) -> Tuple[Term, IRI, Term]:
+    """Parse one N-Triples statement line into its three terms.
+
+    Shared by :func:`iter_ntriples` and the bulk loader's fallback path so
+    both accept exactly the same dialect.
+    """
+    subject, rest = _parse_term(line, line_number, line)
+    predicate, rest = _parse_term(rest, line_number, line)
+    obj, rest = _parse_term(rest, line_number, line)
+    if not rest.strip().startswith("."):
+        raise NTriplesParseError("missing terminating '.'", line_number, line)
+    if not isinstance(predicate, IRI):
+        raise NTriplesParseError("predicate must be an IRI", line_number, line)
+    return subject, predicate, obj
+
+
 def iter_ntriples(text: str) -> Iterator[Triple]:
     """Yield triples from an N-Triples document, one per non-empty line."""
     for line_number, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.strip()
         if not line or line.startswith("#"):
             continue
-        subject, rest = _parse_term(line, line_number, raw_line)
-        predicate, rest = _parse_term(rest, line_number, raw_line)
-        obj, rest = _parse_term(rest, line_number, raw_line)
-        rest = rest.strip()
-        if not rest.startswith("."):
-            raise NTriplesParseError("missing terminating '.'", line_number, raw_line)
-        if not isinstance(predicate, IRI):
-            raise NTriplesParseError(
-                "predicate must be an IRI", line_number, raw_line
-            )
+        subject, predicate, obj = parse_statement(raw_line, line_number)
         yield Triple(subject, predicate, obj)
 
 

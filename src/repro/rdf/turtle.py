@@ -21,13 +21,13 @@ from typing import List, Optional, Tuple
 
 from repro.rdf.graph import Graph
 from repro.rdf.namespace import DEFAULT_PREFIXES, PrefixMap
+from repro.rdf.ntriples import LANG_TAG_PATTERN
 from repro.rdf.terms import (
     BlankNode,
     IRI,
     Literal,
     RDF,
     Term,
-    Triple,
     XSD_BOOLEAN,
     XSD_DECIMAL,
     XSD_DOUBLE,
@@ -43,7 +43,9 @@ _TOKEN_RE = re.compile(
     r"""
     (?P<comment>\#[^\n]*)
   | (?P<iri><[^<>"{}|^`\\\s]*>)
-  | (?P<literal>"(?:[^"\\]|\\.)*"(?:@[a-zA-Z\-]+|\^\^\S+)?)
+  | (?P<literal>"(?:[^"\\]|\\.)*"(?:@"""
+    + LANG_TAG_PATTERN
+    + r"""|\^\^\S+)?)
   | (?P<bnode>_:[A-Za-z0-9_\-\.]+)
   | (?P<prefix_decl>@prefix|@base|PREFIX|BASE)
   | (?P<number>[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)
@@ -76,7 +78,9 @@ def _tokenize(text: str) -> List[Tuple[str, str]]:
 
 
 def _parse_literal_token(token: str) -> Literal:
-    match = re.match(r'"((?:[^"\\]|\\.)*)"(?:@([a-zA-Z\-]+)|\^\^(\S+))?$', token)
+    match = re.match(
+        r'"((?:[^"\\]|\\.)*)"(?:@(' + LANG_TAG_PATTERN + r')|\^\^(\S+))?$', token
+    )
     if match is None:
         raise TurtleParseError(f"malformed literal: {token!r}")
     lexical = (
@@ -100,12 +104,20 @@ def _parse_literal_token(token: str) -> Literal:
 class _TurtleParser:
     """Recursive token consumer building triples into a graph."""
 
-    def __init__(self, text: str, prefixes: Optional[PrefixMap] = None) -> None:
+    def __init__(
+        self,
+        text: str,
+        prefixes: Optional[PrefixMap] = None,
+        graph: Optional[Graph] = None,
+    ) -> None:
         self.tokens = _tokenize(text)
         self.position = 0
         self.prefixes = prefixes.copy() if prefixes else PrefixMap(DEFAULT_PREFIXES)
         self.base = ""
-        self.graph = Graph()
+        # Triples are streamed into the target graph as they are parsed;
+        # any object implementing the Graph surface (e.g. an EncodedGraph)
+        # can be the sink.
+        self.graph = graph if graph is not None else Graph()
 
     # -- token helpers -------------------------------------------------
     def _peek(self) -> Optional[Tuple[str, str]]:
@@ -159,7 +171,7 @@ class _TurtleParser:
             predicate = self._parse_term(position="predicate")
             while True:
                 obj = self._parse_term(position="object")
-                self.graph.add(Triple(subject, predicate, obj))
+                self.graph.add_triple(subject, predicate, obj)
                 token = self._peek()
                 if token is not None and token == ("punct", ","):
                     self._next()
@@ -206,6 +218,15 @@ class _TurtleParser:
         raise TurtleParseError(f"unexpected token {value!r} in {position} position")
 
 
-def parse_turtle(text: str, prefixes: Optional[PrefixMap] = None) -> Graph:
-    """Parse a Turtle document (subset, see module docstring) into a graph."""
-    return _TurtleParser(text, prefixes).parse()
+def parse_turtle(
+    text: str,
+    prefixes: Optional[PrefixMap] = None,
+    graph: Optional[Graph] = None,
+) -> Graph:
+    """Parse a Turtle document (subset, see module docstring) into a graph.
+
+    ``graph`` selects the sink the triples are streamed into; by default a
+    fresh hash-indexed :class:`Graph` is built, but any object implementing
+    the graph surface (e.g. :class:`repro.store.EncodedGraph`) works.
+    """
+    return _TurtleParser(text, prefixes, graph).parse()

@@ -27,7 +27,8 @@ and by the planner benchmarks).
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+import weakref
+from collections import OrderedDict, defaultdict, deque
 from itertools import islice
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
@@ -61,7 +62,7 @@ from repro.sparql.expressions import (
     satisfies,
 )
 from repro.sparql.functions import ExpressionError
-from repro.sparql.plan import evaluate_bgp, match_triple
+from repro.sparql.plan import BGPPlan, execute_plan, match_triple, plan_bgp
 from repro.sparql.paths import (
     AlternativePath,
     InversePath,
@@ -84,9 +85,22 @@ class EvaluationError(RuntimeError):
 class SparqlEvaluator:
     """Direct algebra evaluator over an RDF dataset."""
 
+    #: Upper bound on cached BGP plans (LRU-evicted beyond this).
+    PLAN_CACHE_SIZE = 256
+
     def __init__(self, dataset: Dataset, use_planner: bool = True) -> None:
         self.dataset = dataset
         self.use_planner = use_planner
+        # BGP plans keyed by (graph identity, graph version, pattern tuple):
+        # repeated workload queries skip re-planning, and any mutation of
+        # the graph bumps its version stamp, invalidating stale entries.
+        # Values pair the plan with a weakref to the graph that produced
+        # it, guarding against id() reuse after garbage collection.
+        self._plan_cache: "OrderedDict[Tuple, Tuple[weakref.ref, BGPPlan]]" = (
+            OrderedDict()
+        )
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # ------------------------------------------------------------------
     # public API
@@ -246,9 +260,44 @@ class SparqlEvaluator:
 
     def _eval_bgp_stream(self, node: BGP, active_graph: Graph) -> Iterator[Binding]:
         """Plan a BGP and stream its solutions (index-nested-loop pipeline)."""
-        return evaluate_bgp(
-            active_graph, node.patterns, path_evaluator=self._eval_path_pattern
+        plan = self._bgp_plan(node, active_graph)
+        return execute_plan(
+            plan, active_graph, path_evaluator=self._eval_path_pattern
         )
+
+    def _bgp_plan(self, node: BGP, active_graph: Graph) -> BGPPlan:
+        """Return a (possibly cached) join plan for the BGP.
+
+        Plans are pure functions of the pattern tuple and the graph
+        statistics, so a cached plan is valid exactly while the graph's
+        ``version`` stamp is unchanged.  Graphs without a version stamp,
+        and patterns that are not hashable (exotic path operators), are
+        planned afresh every time.
+        """
+        version = getattr(active_graph, "version", None)
+        if version is None:
+            return plan_bgp(active_graph, node.patterns)
+        key = (id(active_graph), version, node.patterns)
+        cache = self._plan_cache
+        try:
+            cached = cache.get(key)
+        except TypeError:  # unhashable pattern component
+            return plan_bgp(active_graph, node.patterns)
+        if cached is not None:
+            graph_ref, plan = cached
+            # id() values can be reused after garbage collection, so the
+            # entry only counts as a hit while the weakly-held graph that
+            # produced it is still the graph being queried.
+            if graph_ref() is active_graph:
+                self.plan_cache_hits += 1
+                cache.move_to_end(key)
+                return plan
+        self.plan_cache_misses += 1
+        plan = plan_bgp(active_graph, node.patterns)
+        cache[key] = (weakref.ref(active_graph), plan)
+        if len(cache) > self.PLAN_CACHE_SIZE:
+            cache.popitem(last=False)
+        return plan
 
     def _eval_pattern_stream(
         self,

@@ -1,0 +1,84 @@
+"""Dictionary-encoded storage subsystem.
+
+The store package provides a second storage backend beneath the ``Graph``
+API: terms are interned to integer ids (:mod:`repro.store.dictionary`) and
+triples live in id-encoded SPO / POS / OSP indexes
+(:mod:`repro.store.encoded`), cutting the per-triple footprint to a
+fraction of the boxed-object seed graph.  A streaming bulk loader
+(:mod:`repro.store.bulk`) ingests N-Triples / Turtle in one pass, and
+binary snapshots (:mod:`repro.store.snapshot`) give instant warm starts.
+
+Backend selection
+-----------------
+:func:`create_graph` builds a graph for a named backend:
+
+* ``"hash"`` — the seed :class:`repro.rdf.graph.Graph` (boxed terms),
+* ``"encoded"`` — :class:`EncodedGraph` (dictionary-encoded ids).
+
+The workload generators and the experiment harness accept a ``backend=``
+switch that is routed here; the ``REPRO_STORE_BACKEND`` environment
+variable sets the default for a whole process.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Triple
+from repro.store.bulk import bulk_load_ntriples, bulk_load_path, bulk_load_turtle
+from repro.store.dictionary import TermDictionary
+from repro.store.encoded import EncodedGraph
+from repro.store.snapshot import SnapshotError, load_snapshot, save_snapshot
+
+#: Registered graph backends, by name.
+GRAPH_BACKENDS = {
+    "hash": Graph,
+    "encoded": EncodedGraph,
+}
+
+#: Environment variable naming the process-wide default backend.
+BACKEND_ENV_VAR = "REPRO_STORE_BACKEND"
+
+DEFAULT_BACKEND = "hash"
+
+
+def default_backend() -> str:
+    """Return the process-wide default backend name."""
+    return os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+
+
+def create_graph(
+    backend: Optional[str] = None, triples: Optional[Iterable[Triple]] = None
+):
+    """Build an empty (or pre-filled) graph for the named backend.
+
+    ``backend=None`` falls back to ``REPRO_STORE_BACKEND`` and then to
+    ``"hash"``, so existing callers keep the seed behaviour untouched.
+    """
+    name = backend if backend is not None else default_backend()
+    try:
+        factory = GRAPH_BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown graph backend {name!r}; available: {sorted(GRAPH_BACKENDS)}"
+        ) from None
+    return factory(triples)
+
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "EncodedGraph",
+    "GRAPH_BACKENDS",
+    "SnapshotError",
+    "TermDictionary",
+    "bulk_load_ntriples",
+    "bulk_load_path",
+    "bulk_load_turtle",
+    "create_graph",
+    "default_backend",
+    "load_snapshot",
+    "save_snapshot",
+]

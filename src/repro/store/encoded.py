@@ -1,0 +1,532 @@
+"""Dictionary-encoded triple store implementing the full ``Graph`` surface.
+
+:class:`EncodedGraph` is a drop-in replacement for
+:class:`repro.rdf.graph.Graph`: the SPARQL evaluator, the BGP planner and
+the Datalog translation run unchanged on top of it.  Internally every term
+is interned to an integer id by a :class:`~repro.store.dictionary.TermDictionary`
+and the three pattern-matching indexes (SPO / POS / OSP) are nested dicts
+over those ids, so the per-triple footprint is a few machine words instead
+of boxed ``Term`` / ``Triple`` objects.  Terms are decoded lazily at the
+API boundary — ``triples()`` yields ordinary :class:`Triple` values.
+
+Index representation
+--------------------
+The innermost level of each index is a *hybrid* entry: a bare ``int`` id
+while the fan-out is exactly one (by far the common case in RDF data) that
+is upgraded to a ``set`` of ids on the second element.  This halves the
+resident size of the store compared to always-``set`` inner levels —
+a singleton Python set costs >200 bytes.
+
+The same exact, incrementally-maintained statistics as the seed graph are
+kept (per-position occurrence counts, per-predicate distinct subjects), so
+:meth:`pattern_cardinality` stays O(1) and the cost-based planner works
+identically on both backends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.rdf.terms import Term, Triple, Variable
+from repro.store.dictionary import TermDictionary
+
+#: A hybrid innermost index entry: one id, or a set of ids.
+Entry = Union[int, Set[int]]
+#: A two-level id index: first component -> second component -> Entry.
+IdIndex = Dict[int, Dict[int, Entry]]
+
+
+# ----------------------------------------------------------------------
+# hybrid entry helpers
+# ----------------------------------------------------------------------
+def _entry_add(inner: Dict[int, Entry], key: int, value: int) -> bool:
+    """Add ``value`` under ``key``; return True when it was not present."""
+    current = inner.get(key)
+    if current is None:
+        inner[key] = value
+        return True
+    if type(current) is set:
+        if value in current:
+            return False
+        current.add(value)
+        return True
+    if current == value:
+        return False
+    inner[key] = {current, value}
+    return True
+
+
+def _entry_discard(inner: Dict[int, Entry], key: int, value: int) -> None:
+    """Remove ``value`` from ``inner[key]``, pruning emptied entries."""
+    current = inner.get(key)
+    if current is None:
+        return
+    if type(current) is set:
+        current.discard(value)
+        if len(current) == 1:
+            inner[key] = next(iter(current))
+        elif not current:
+            del inner[key]
+    elif current == value:
+        del inner[key]
+
+
+def _entry_contains(entry: Optional[Entry], value: int) -> bool:
+    if entry is None:
+        return False
+    if type(entry) is set:
+        return value in entry
+    return entry == value
+
+
+def _entry_len(entry: Optional[Entry]) -> int:
+    if entry is None:
+        return 0
+    if type(entry) is set:
+        return len(entry)
+    return 1
+
+
+def _entry_iter(entry: Entry) -> Iterator[int]:
+    if type(entry) is set:
+        return iter(entry)
+    return iter((entry,))
+
+
+class EncodedGraph:
+    """A set of RDF triples stored as dictionary-encoded integer ids.
+
+    Implements the same collection protocol, pattern matching and
+    statistics API as :class:`repro.rdf.graph.Graph`; see that class for
+    the semantics of every method.
+    """
+
+    def __init__(
+        self,
+        triples: Optional[Iterable[Triple]] = None,
+        dictionary: Optional[TermDictionary] = None,
+    ) -> None:
+        self._dict = dictionary if dictionary is not None else TermDictionary()
+        self._spo: IdIndex = {}
+        self._pos: IdIndex = {}
+        self._osp: IdIndex = {}
+        self._len = 0
+        self._version = 0
+        # Exact incremental statistics over ids, mirroring the seed graph's.
+        self._subject_counts: Dict[int, int] = {}
+        self._predicate_counts: Dict[int, int] = {}
+        self._object_counts: Dict[int, int] = {}
+        self._pred_subject_counts: Dict[int, Dict[int, int]] = {}
+        if triples:
+            for triple in triples:
+                self.add(triple)
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The term dictionary backing this graph (shared by copies)."""
+        return self._dict
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing mutation stamp (see ``Graph.version``)."""
+        return self._version
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, triple: Triple) -> None:
+        """Add a ground triple to the graph (idempotent)."""
+        if not triple.is_ground():
+            raise ValueError(f"cannot add non-ground triple: {triple!r}")
+        encode = self._dict.encode
+        self._add_ids(
+            encode(triple.subject), encode(triple.predicate), encode(triple.object)
+        )
+
+    def add_triple(self, subject: Term, predicate: Term, obj: Term) -> None:
+        """Add a triple from its components without building a ``Triple``."""
+        if (
+            isinstance(subject, Variable)
+            or isinstance(predicate, Variable)
+            or isinstance(obj, Variable)
+        ):
+            raise ValueError(
+                f"cannot add non-ground triple: ({subject!r} {predicate!r} {obj!r})"
+            )
+        encode = self._dict.encode
+        self._add_ids(encode(subject), encode(predicate), encode(obj))
+
+    def update(self, triples: Iterable[Triple]) -> None:
+        """Add every triple from ``triples``."""
+        for triple in triples:
+            self.add(triple)
+
+    def _add_ids(self, sid: int, pid: int, oid: int, stats: bool = True) -> bool:
+        """Insert an id triple into the indexes; return True when new.
+
+        With ``stats=False`` the incremental counters are left untouched —
+        the bulk loader and snapshot loader use this and rebuild the
+        statistics in one pass at the end (:meth:`_rebuild_statistics`).
+        """
+        by_predicate = self._spo.get(sid)
+        if by_predicate is None:
+            by_predicate = self._spo[sid] = {}
+        if not _entry_add(by_predicate, pid, oid):
+            return False
+        by_object = self._pos.get(pid)
+        if by_object is None:
+            by_object = self._pos[pid] = {}
+        _entry_add(by_object, oid, sid)
+        by_subject = self._osp.get(oid)
+        if by_subject is None:
+            by_subject = self._osp[oid] = {}
+        _entry_add(by_subject, sid, pid)
+        self._len += 1
+        if stats:
+            self._subject_counts[sid] = self._subject_counts.get(sid, 0) + 1
+            self._predicate_counts[pid] = self._predicate_counts.get(pid, 0) + 1
+            self._object_counts[oid] = self._object_counts.get(oid, 0) + 1
+            per_subject = self._pred_subject_counts.get(pid)
+            if per_subject is None:
+                per_subject = self._pred_subject_counts[pid] = {}
+            per_subject[sid] = per_subject.get(sid, 0) + 1
+            self._version += 1
+        return True
+
+    def _rebuild_statistics(self) -> None:
+        """Recompute every counter from the indexes (post bulk/snapshot load)."""
+        subject_counts: Dict[int, int] = {}
+        pred_subject_counts: Dict[int, Dict[int, int]] = {}
+        for sid, by_predicate in self._spo.items():
+            total = 0
+            for pid, entry in by_predicate.items():
+                fan = _entry_len(entry)
+                total += fan
+                per_subject = pred_subject_counts.get(pid)
+                if per_subject is None:
+                    per_subject = pred_subject_counts[pid] = {}
+                per_subject[sid] = fan
+            subject_counts[sid] = total
+        self._subject_counts = subject_counts
+        self._pred_subject_counts = pred_subject_counts
+        self._predicate_counts = {
+            pid: sum(_entry_len(entry) for entry in by_object.values())
+            for pid, by_object in self._pos.items()
+        }
+        self._object_counts = {
+            oid: sum(_entry_len(entry) for entry in by_subject.values())
+            for oid, by_subject in self._osp.items()
+        }
+
+    def remove(self, triple: Triple) -> None:
+        """Remove a triple; missing triples are ignored."""
+        lookup = self._dict.id_for
+        sid = lookup(triple.subject)
+        pid = lookup(triple.predicate)
+        oid = lookup(triple.object)
+        if sid is None or pid is None or oid is None:
+            return
+        by_predicate = self._spo.get(sid)
+        if by_predicate is None or not _entry_contains(by_predicate.get(pid), oid):
+            return
+        _entry_discard(by_predicate, pid, oid)
+        if not by_predicate:
+            del self._spo[sid]
+        by_object = self._pos[pid]
+        _entry_discard(by_object, oid, sid)
+        if not by_object:
+            del self._pos[pid]
+        by_subject = self._osp[oid]
+        _entry_discard(by_subject, sid, pid)
+        if not by_subject:
+            del self._osp[oid]
+        self._len -= 1
+        self._version += 1
+        self._decrement(self._subject_counts, sid)
+        self._decrement(self._predicate_counts, pid)
+        self._decrement(self._object_counts, oid)
+        per_subject = self._pred_subject_counts.get(pid)
+        if per_subject is not None:
+            self._decrement(per_subject, sid)
+            if not per_subject:
+                del self._pred_subject_counts[pid]
+
+    @staticmethod
+    def _decrement(counts: Dict[int, int], key: int) -> None:
+        remaining = counts.get(key, 0) - 1
+        if remaining <= 0:
+            counts.pop(key, None)
+        else:
+            counts[key] = remaining
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._len
+
+    def __iter__(self) -> Iterator[Triple]:
+        decode = self._dict.term
+        for sid, by_predicate in self._spo.items():
+            subject = decode(sid)
+            for pid, entry in by_predicate.items():
+                predicate = decode(pid)
+                for oid in _entry_iter(entry):
+                    yield Triple(subject, predicate, decode(oid))
+
+    def __contains__(self, triple: Triple) -> bool:
+        lookup = self._dict.id_for
+        sid = lookup(triple.subject)
+        pid = lookup(triple.predicate)
+        oid = lookup(triple.object)
+        if sid is None or pid is None or oid is None:
+            return False
+        by_predicate = self._spo.get(sid)
+        return by_predicate is not None and _entry_contains(by_predicate.get(pid), oid)
+
+    def __repr__(self) -> str:
+        return f"EncodedGraph({self._len} triples, {len(self._dict)} dictionary terms)"
+
+    def copy(self) -> "EncodedGraph":
+        """Return a new graph with the same triples, sharing the dictionary."""
+        clone = EncodedGraph(dictionary=self._dict)
+        clone._spo = self._copy_index(self._spo)
+        clone._pos = self._copy_index(self._pos)
+        clone._osp = self._copy_index(self._osp)
+        clone._len = self._len
+        clone._subject_counts = dict(self._subject_counts)
+        clone._predicate_counts = dict(self._predicate_counts)
+        clone._object_counts = dict(self._object_counts)
+        clone._pred_subject_counts = {
+            pid: dict(per_subject)
+            for pid, per_subject in self._pred_subject_counts.items()
+        }
+        return clone
+
+    @staticmethod
+    def _copy_index(index: IdIndex) -> IdIndex:
+        return {
+            first: {
+                second: (set(entry) if type(entry) is set else entry)
+                for second, entry in inner.items()
+            }
+            for first, inner in index.items()
+        }
+
+    # ------------------------------------------------------------------
+    # pattern matching
+    # ------------------------------------------------------------------
+    def triples(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Yield all triples matching the pattern (``None`` = wildcard)."""
+        lookup = self._dict.id_for
+        decode = self._dict.term
+        sid = pid = oid = None
+        if subject is not None:
+            sid = lookup(subject)
+            if sid is None:
+                return
+        if predicate is not None:
+            pid = lookup(predicate)
+            if pid is None:
+                return
+        if obj is not None:
+            oid = lookup(obj)
+            if oid is None:
+                return
+        if sid is not None and pid is not None and oid is not None:
+            by_predicate = self._spo.get(sid)
+            if by_predicate is not None and _entry_contains(by_predicate.get(pid), oid):
+                yield Triple(subject, predicate, obj)
+            return
+        if sid is not None:
+            if oid is not None:  # S ? O — probe OSP directly
+                by_subject = self._osp.get(oid)
+                if by_subject is None:
+                    return
+                entry = by_subject.get(sid)
+                if entry is None:
+                    return
+                for matched_pid in _entry_iter(entry):
+                    yield Triple(subject, decode(matched_pid), obj)
+                return
+            by_predicate = self._spo.get(sid)
+            if by_predicate is None:
+                return
+            if pid is not None:  # S P ?
+                entry = by_predicate.get(pid)
+                if entry is None:
+                    return
+                for matched_oid in _entry_iter(entry):
+                    yield Triple(subject, predicate, decode(matched_oid))
+            else:  # S ? ?
+                for matched_pid, entry in by_predicate.items():
+                    matched_predicate = decode(matched_pid)
+                    for matched_oid in _entry_iter(entry):
+                        yield Triple(subject, matched_predicate, decode(matched_oid))
+            return
+        if pid is not None:
+            by_object = self._pos.get(pid)
+            if by_object is None:
+                return
+            if oid is not None:  # ? P O
+                entry = by_object.get(oid)
+                if entry is None:
+                    return
+                for matched_sid in _entry_iter(entry):
+                    yield Triple(decode(matched_sid), predicate, obj)
+            else:  # ? P ?
+                for matched_oid, entry in by_object.items():
+                    matched_obj = decode(matched_oid)
+                    for matched_sid in _entry_iter(entry):
+                        yield Triple(decode(matched_sid), predicate, matched_obj)
+            return
+        if oid is not None:  # ? ? O
+            by_subject = self._osp.get(oid)
+            if by_subject is None:
+                return
+            for matched_sid, entry in by_subject.items():
+                matched_subject = decode(matched_sid)
+                for matched_pid in _entry_iter(entry):
+                    yield Triple(matched_subject, decode(matched_pid), obj)
+            return
+        yield from iter(self)
+
+    def subjects(self) -> Set[Term]:
+        """Return the set of all subjects."""
+        decode = self._dict.term
+        return {decode(sid) for sid in self._spo}
+
+    def predicates(self) -> Set[Term]:
+        """Return the set of all predicates."""
+        decode = self._dict.term
+        return {decode(pid) for pid in self._pos}
+
+    def objects(self) -> Set[Term]:
+        """Return the set of all objects."""
+        decode = self._dict.term
+        return {decode(oid) for oid in self._osp}
+
+    def terms(self) -> Set[Term]:
+        """Return every term occurring anywhere in the graph."""
+        decode = self._dict.term
+        return {decode(tid) for tid in set(self._spo) | set(self._pos) | set(self._osp)}
+
+    def nodes(self) -> Set[Term]:
+        """Return every term occurring in subject or object position."""
+        decode = self._dict.term
+        return {decode(tid) for tid in set(self._spo) | set(self._osp)}
+
+    # ------------------------------------------------------------------
+    # statistics (incremental, exact)
+    # ------------------------------------------------------------------
+    def subject_cardinality(self, subject: Term) -> int:
+        sid = self._dict.id_for(subject)
+        return self._subject_counts.get(sid, 0) if sid is not None else 0
+
+    def predicate_cardinality(self, predicate: Term) -> int:
+        pid = self._dict.id_for(predicate)
+        return self._predicate_counts.get(pid, 0) if pid is not None else 0
+
+    def object_cardinality(self, obj: Term) -> int:
+        oid = self._dict.id_for(obj)
+        return self._object_counts.get(oid, 0) if oid is not None else 0
+
+    def distinct_subjects(self, predicate: Optional[Term] = None) -> int:
+        if predicate is None:
+            return len(self._spo)
+        pid = self._dict.id_for(predicate)
+        if pid is None:
+            return 0
+        return len(self._pred_subject_counts.get(pid, ()))
+
+    def distinct_predicates(self) -> int:
+        return len(self._pos)
+
+    def distinct_objects(self, predicate: Optional[Term] = None) -> int:
+        if predicate is None:
+            return len(self._osp)
+        pid = self._dict.id_for(predicate)
+        if pid is None:
+            return 0
+        return len(self._pos.get(pid, ()))
+
+    def pattern_cardinality(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> int:
+        """Exact number of triples matching the pattern (``None`` = wildcard)."""
+        lookup = self._dict.id_for
+        sid = pid = oid = None
+        if subject is not None:
+            sid = lookup(subject)
+            if sid is None:
+                return 0
+        if predicate is not None:
+            pid = lookup(predicate)
+            if pid is None:
+                return 0
+        if obj is not None:
+            oid = lookup(obj)
+            if oid is None:
+                return 0
+        if sid is not None and pid is not None and oid is not None:
+            by_predicate = self._spo.get(sid)
+            if by_predicate is None:
+                return 0
+            return 1 if _entry_contains(by_predicate.get(pid), oid) else 0
+        if sid is not None:
+            if pid is not None:
+                return _entry_len(self._spo.get(sid, {}).get(pid))
+            if oid is not None:
+                return _entry_len(self._osp.get(oid, {}).get(sid))
+            return self._subject_counts.get(sid, 0)
+        if pid is not None:
+            if oid is not None:
+                return _entry_len(self._pos.get(pid, {}).get(oid))
+            return self._predicate_counts.get(pid, 0)
+        if oid is not None:
+            return self._object_counts.get(oid, 0)
+        return self._len
+
+    def objects_for(self, subject: Term, predicate: Term) -> Set[Term]:
+        """Return the set of objects for a fixed subject and predicate."""
+        lookup = self._dict.id_for
+        sid = lookup(subject)
+        pid = lookup(predicate)
+        if sid is None or pid is None:
+            return set()
+        entry = self._spo.get(sid, {}).get(pid)
+        if entry is None:
+            return set()
+        decode = self._dict.term
+        return {decode(oid) for oid in _entry_iter(entry)}
+
+    def subjects_for(self, predicate: Term, obj: Term) -> Set[Term]:
+        """Return the set of subjects for a fixed predicate and object."""
+        lookup = self._dict.id_for
+        pid = lookup(predicate)
+        oid = lookup(obj)
+        if pid is None or oid is None:
+            return set()
+        entry = self._pos.get(pid, {}).get(oid)
+        if entry is None:
+            return set()
+        decode = self._dict.term
+        return {decode(sid) for sid in _entry_iter(entry)}
+
+    # ------------------------------------------------------------------
+    # id-level access (used by the bulk loader and snapshots)
+    # ------------------------------------------------------------------
+    def id_triples(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield every triple as an (sid, pid, oid) id tuple."""
+        for sid, by_predicate in self._spo.items():
+            for pid, entry in by_predicate.items():
+                for oid in _entry_iter(entry):
+                    yield sid, pid, oid

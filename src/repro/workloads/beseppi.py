@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.rdf.graph import Dataset, Graph
+from repro.store import create_graph
 from repro.rdf.namespace import Namespace
 from repro.rdf.terms import IRI, Literal, Term, Triple
 
@@ -72,9 +73,9 @@ PREDICATES = ("p", "q", "r")
 OUTSIDE_NODE = "n99"
 
 
-def beseppi_graph() -> Graph:
+def beseppi_graph(backend: Optional[str] = None) -> Graph:
     """Return the fixed benchmark graph."""
-    graph = Graph()
+    graph = create_graph(backend)
     for subject, predicate, obj in _EDGES:
         object_term: Term = obj if isinstance(obj, Literal) else B[obj]
         graph.add(Triple(B[subject], B[predicate], object_term))
@@ -354,8 +355,8 @@ class BeSEPPIWorkload:
 
     name = "BeSEPPI"
 
-    def __init__(self) -> None:
-        self._graph = beseppi_graph()
+    def __init__(self, backend: Optional[str] = None) -> None:
+        self._graph = beseppi_graph(backend)
         self._queries = self._build_queries()
 
     @property

@@ -17,9 +17,10 @@ people, talks, organisations, spread over a default and a named graph) and
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.rdf.graph import Dataset, Graph
+from repro.store import create_graph
 from repro.rdf.namespace import Namespace
 from repro.rdf.terms import IRI, Literal, XSD_INTEGER
 from repro.workloads.sp2bench import BenchmarkQuery
@@ -47,11 +48,12 @@ def generate_swdf_graph(
     n_conferences: int = 14,
     n_organisations: int = 30,
     seed: int = 3,
+    backend: Optional[str] = None,
 ) -> Dataset:
     """Generate the SWDF-like dataset (default graph + one named graph)."""
     rng = random.Random(seed)
-    default = Graph()
-    metadata = Graph()
+    default = create_graph(backend)
+    metadata = create_graph(backend)
 
     organisations = []
     for index in range(n_organisations):
@@ -286,7 +288,9 @@ class FeasibleWorkload:
 
     name = "FEASIBLE (S)"
 
-    def __init__(self, scale: float = 1.0, seed: int = 3) -> None:
+    def __init__(
+        self, scale: float = 1.0, seed: int = 3, backend: Optional[str] = None
+    ) -> None:
         self.seed = seed
         self._dataset = generate_swdf_graph(
             n_people=max(20, int(150 * scale)),
@@ -294,6 +298,7 @@ class FeasibleWorkload:
             n_conferences=max(4, int(14 * scale)),
             n_organisations=max(5, int(30 * scale)),
             seed=seed,
+            backend=backend,
         )
         self._queries = feasible_queries(seed=seed + 2)
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.rdf.graph import Dataset, Graph
+from repro.store import create_graph
 from repro.rdf.namespace import Namespace
 from repro.rdf.terms import IRI
 from repro.workloads.sp2bench import BenchmarkQuery
@@ -123,10 +124,12 @@ def test_scenario() -> GMarkScenario:
     return GMarkScenario("test", node_counts, edges)
 
 
-def generate_gmark_graph(scenario: GMarkScenario, seed: int = 7) -> Graph:
+def generate_gmark_graph(
+    scenario: GMarkScenario, seed: int = 7, backend: Optional[str] = None
+) -> Graph:
     """Materialise a graph instance of the scenario."""
     rng = random.Random(seed)
-    graph = Graph()
+    graph = create_graph(backend)
     nodes: Dict[str, List[IRI]] = {}
     for node_type, count in scenario.node_counts.items():
         nodes[node_type] = [GMARK[f"{node_type}{index}"] for index in range(count)]
@@ -236,11 +239,12 @@ class GMarkWorkload:
         scale: float = 1.0,
         seed: int = 7,
         query_count: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.scenario = (scenario or social_scenario()).scaled(scale)
         self.seed = seed
         self.name = f"gMark-{self.scenario.name}"
-        self._graph = generate_gmark_graph(self.scenario, seed=seed)
+        self._graph = generate_gmark_graph(self.scenario, seed=seed, backend=backend)
         self._queries = generate_gmark_queries(
             self.scenario, self._graph, seed=seed + 13, count=query_count
         )

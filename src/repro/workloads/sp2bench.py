@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.rdf.graph import Dataset, Graph
+from repro.store import create_graph
 from repro.rdf.terms import IRI, Literal, Triple, XSD_INTEGER
 from repro.rdf.namespace import Namespace
 
@@ -81,6 +82,7 @@ def generate_sp2bench_graph(
     n_journals: int = 40,
     n_proceedings: int = 30,
     seed: int = 1,
+    backend: Optional[str] = None,
 ) -> Graph:
     """Generate a DBLP-like graph.
 
@@ -89,7 +91,7 @@ def generate_sp2bench_graph(
     experiments a larger one (both just scale these counts).
     """
     rng = random.Random(seed)
-    graph = Graph()
+    graph = create_graph(backend)
 
     persons = []
     for index in range(n_persons):
@@ -387,7 +389,9 @@ class SP2BenchWorkload:
 
     name = "SP2Bench"
 
-    def __init__(self, scale: float = 1.0, seed: int = 1) -> None:
+    def __init__(
+        self, scale: float = 1.0, seed: int = 1, backend: Optional[str] = None
+    ) -> None:
         self.scale = scale
         self.seed = seed
         self._graph: Graph = generate_sp2bench_graph(
@@ -397,6 +401,7 @@ class SP2BenchWorkload:
             n_journals=max(5, int(40 * scale)),
             n_proceedings=max(5, int(30 * scale)),
             seed=seed,
+            backend=backend,
         )
 
     @property

@@ -1,0 +1,44 @@
+"""Re-run the Graph and SPARQL evaluator suites over the encoded backend.
+
+Acceptance for the store subsystem: :class:`repro.store.EncodedGraph` is a
+drop-in replacement for :class:`repro.rdf.graph.Graph`.  Every test class
+of ``tests/test_rdf_graph.py`` and ``tests/test_sparql_evaluator.py`` is
+subclassed here and executed with the module-level ``Graph`` name (and the
+graph builders in ``tests.helpers``) patched to the encoded backend, so
+the exact same assertions run against both storage layers.
+"""
+
+import pytest
+
+import tests.helpers as helpers
+import tests.test_rdf_graph as graph_suite
+import tests.test_sparql_evaluator as evaluator_suite
+from repro.store import EncodedGraph
+
+
+@pytest.fixture(autouse=True)
+def _encoded_backend(monkeypatch):
+    """Substitute EncodedGraph for Graph in the suites and their helpers."""
+    for module in (graph_suite, evaluator_suite, helpers):
+        monkeypatch.setattr(module, "Graph", EncodedGraph)
+    yield
+
+
+def _subclass_suites(module, prefix):
+    for name, obj in list(vars(module).items()):
+        if isinstance(obj, type) and name.startswith("Test"):
+            subclass = type(f"{prefix}{name[4:]}", (obj,), {})
+            subclass.__module__ = __name__
+            globals()[subclass.__name__] = subclass
+
+
+_subclass_suites(graph_suite, "TestEncodedRdf")
+_subclass_suites(evaluator_suite, "TestEncodedSparql")
+
+
+def test_suites_collected():
+    """Guard: the dynamic subclassing actually produced the suites."""
+    generated = [name for name in globals() if name.startswith("TestEncoded")]
+    assert any(name.startswith("TestEncodedRdf") for name in generated)
+    assert any(name.startswith("TestEncodedSparql") for name in generated)
+    assert len(generated) >= 8, generated

@@ -275,3 +275,63 @@ class TestPlannedEvaluatorEquivalence:
             assert len(planned) == len(naive)
         else:
             assert rows_multiset(planned) == rows_multiset(naive)
+
+
+class TestPlanCache:
+    def _two_pattern_query(self):
+        return parse_query(
+            PREFIX + "SELECT ?a ?c WHERE { ?a ex:borders ?b . ?b ex:borders ?c }"
+        )
+
+    def test_repeated_query_hits_cache(self):
+        evaluator = SparqlEvaluator(countries_dataset())
+        query = self._two_pattern_query()
+        first = evaluator.evaluate(query)
+        second = evaluator.evaluate(query)
+        assert rows_multiset(first) == rows_multiset(second)
+        assert evaluator.plan_cache_misses == 1
+        assert evaluator.plan_cache_hits == 1
+
+    def test_mutation_invalidates_cache(self):
+        dataset = countries_dataset()
+        evaluator = SparqlEvaluator(dataset)
+        query = self._two_pattern_query()
+        evaluator.evaluate(query)
+        before = rows_multiset(evaluator.evaluate(query))
+        dataset.default_graph.add(Triple(EX.austria, EX.borders, EX.italy))
+        after = evaluator.evaluate(query)
+        assert evaluator.plan_cache_misses == 2
+        naive = SparqlEvaluator(dataset, use_planner=False).evaluate(query)
+        assert rows_multiset(after) == rows_multiset(naive)
+        assert rows_multiset(after) != before
+
+    def test_version_stamp_semantics(self):
+        graph = Graph()
+        triple = Triple(EX.a, EX.p, EX.b)
+        assert graph.version == 0
+        graph.add(triple)
+        graph.add(triple)  # idempotent re-add does not bump
+        assert graph.version == 1
+        graph.remove(triple)
+        graph.remove(triple)  # removing a missing triple does not bump
+        assert graph.version == 2
+
+    def test_cache_is_bounded(self):
+        evaluator = SparqlEvaluator(countries_dataset())
+        evaluator.PLAN_CACHE_SIZE = 4
+        for index in range(10):
+            query = parse_query(
+                PREFIX
+                + f"SELECT ?a ?b WHERE {{ ?a ex:borders ?b . ?b ex:borders ex:n{index} }}"
+            )
+            evaluator.evaluate(query)
+        assert len(evaluator._plan_cache) <= 4
+
+    def test_distinct_graphs_cached_separately(self):
+        query = self._two_pattern_query()
+        first = SparqlEvaluator(countries_dataset())
+        second = SparqlEvaluator(countries_dataset())
+        first.evaluate(query)
+        second.evaluate(query)
+        assert first.plan_cache_misses == 1
+        assert second.plan_cache_misses == 1

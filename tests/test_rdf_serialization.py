@@ -142,3 +142,33 @@ class TestNamespaces:
         clone = original.copy()
         clone.bind("foo", "http://foo.org/")
         assert "foo" not in original
+
+
+class TestLanguageTags:
+    """BCP-47 language tags with digit subtags (regression)."""
+
+    def test_ntriples_parses_digit_subtags(self):
+        text = (
+            '<http://e/a> <http://e/p> "hola"@es-419 .\n'
+            '<http://e/a> <http://e/p> "gruezi"@de-CH-1901 .\n'
+        )
+        graph = parse_ntriples(text)
+        objects = {t.object for t in graph}
+        assert Literal("hola", language="es-419") in objects
+        assert Literal("gruezi", language="de-CH-1901") in objects
+
+    def test_ntriples_round_trips_digit_subtags(self):
+        graph = parse_ntriples('<http://e/a> <http://e/p> "x"@zh-Hant-0a .\n')
+        assert set(parse_ntriples(serialize_ntriples(graph))) == set(graph)
+
+    def test_turtle_parses_digit_subtags(self):
+        graph = parse_turtle(
+            '@prefix ex: <http://ex.org/> .\nex:a ex:p "hola"@es-419 .\n'
+        )
+        assert next(iter(graph)).object == Literal("hola", language="es-419")
+
+    def test_tag_must_start_alphabetic(self):
+        # "@419" is not a valid language tag; the literal term must not
+        # silently swallow the tag as part of the lexical form.
+        with pytest.raises(NTriplesParseError):
+            parse_ntriples('<http://e/a> <http://e/p> "x"@419 .\n')

@@ -1,0 +1,486 @@
+"""Tests for the dictionary-encoded storage subsystem (repro.store)."""
+
+import io
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.ntriples import NTriplesParseError, parse_ntriples, serialize_ntriples
+from repro.rdf.terms import BlankNode, IRI, Literal, Triple, Variable
+from repro.sparql.evaluator import SparqlEvaluator
+from repro.sparql.parser import parse_query
+from repro.store import (
+    EncodedGraph,
+    GRAPH_BACKENDS,
+    SnapshotError,
+    TermDictionary,
+    bulk_load_ntriples,
+    bulk_load_path,
+    bulk_load_turtle,
+    create_graph,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.store.dictionary import KIND_BLANK, KIND_IRI, KIND_LITERAL
+
+from tests.helpers import EX, countries_graph
+
+
+# ----------------------------------------------------------------------
+# term strategies (hypothesis)
+# ----------------------------------------------------------------------
+_names = st.text(
+    alphabet="abcdefgh0123456789", min_size=1, max_size=6
+)
+
+iris = st.builds(lambda n: IRI(f"http://ex.org/{n}"), _names)
+bnodes = st.builds(BlankNode, _names)
+plain_literals = st.builds(Literal, st.text(max_size=8))
+typed_literals = st.builds(
+    lambda lex, dt: Literal(lex, IRI(f"http://ex.org/dt/{dt}")),
+    st.text(max_size=6),
+    _names,
+)
+lang_literals = st.builds(
+    lambda lex, tag: Literal(lex, None, tag),
+    st.text(max_size=6),
+    st.sampled_from(["en", "es-419", "de-CH-1901", "zh-Hant", "x-a-b"]),
+)
+terms = st.one_of(iris, bnodes, plain_literals, typed_literals, lang_literals)
+ground_triples = st.builds(
+    Triple, st.one_of(iris, bnodes), iris, terms
+)
+
+
+class TestTermDictionary:
+    def test_ids_are_stable_and_bidirectional(self):
+        dictionary = TermDictionary()
+        first = dictionary.encode(EX.a)
+        second = dictionary.encode(EX.b)
+        assert first != second
+        assert dictionary.encode(EX.a) == first
+        assert dictionary.term(first) == EX.a
+        assert dictionary.term(second) == EX.b
+        assert len(dictionary) == 2
+
+    def test_kind_tagging(self):
+        dictionary = TermDictionary()
+        assert dictionary.kind(dictionary.encode(EX.a)) == KIND_IRI
+        assert dictionary.kind(dictionary.encode(BlankNode("b"))) == KIND_BLANK
+        assert dictionary.kind(dictionary.encode(Literal("x"))) == KIND_LITERAL
+
+    def test_distinct_literals_stay_distinct(self):
+        # A plain literal and an explicitly xsd:string-typed literal are
+        # different terms (dataclass equality) and must get different ids.
+        from repro.rdf.terms import XSD_STRING
+
+        dictionary = TermDictionary()
+        plain = dictionary.encode(Literal("5"))
+        typed = dictionary.encode(Literal("5", XSD_STRING))
+        integer = dictionary.encode(Literal("5", IRI("http://www.w3.org/2001/XMLSchema#integer")))
+        assert len({plain, typed, integer}) == 3
+
+    def test_language_literal_interning_is_canonical(self):
+        # Term-level and token-level interning must agree on language
+        # literals despite the implied rdf:langString datatype.
+        dictionary = TermDictionary()
+        via_term = dictionary.encode(Literal("hola", None, "es-419"))
+        via_token = dictionary.encode_literal("hola", None, "es-419")
+        assert via_term == via_token
+        assert dictionary.term(via_token) == Literal("hola", None, "es-419")
+
+    def test_id_for_does_not_intern(self):
+        dictionary = TermDictionary()
+        assert dictionary.id_for(EX.a) is None
+        assert len(dictionary) == 0
+        assert EX.a not in dictionary
+
+    def test_rejects_variables(self):
+        with pytest.raises(TypeError):
+            TermDictionary().encode(Variable("x"))
+
+    @given(st.lists(terms, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, term_list):
+        dictionary = TermDictionary()
+        ids = [dictionary.encode(term) for term in term_list]
+        # decode(encode(t)) == t, and equal terms share one id
+        for term, term_id in zip(term_list, ids):
+            assert dictionary.term(term_id) == term
+            assert dictionary.id_for(term) == term_id
+        assert len(dictionary) == len(set(term_list))
+
+
+class TestEncodedGraphBasics:
+    def test_len_contains_iter(self):
+        graph = EncodedGraph()
+        triple = Triple(EX.a, EX.p, EX.b)
+        graph.add(triple)
+        graph.add(triple)
+        assert len(graph) == 1
+        assert triple in graph
+        assert list(graph) == [triple]
+
+    def test_rejects_non_ground(self):
+        graph = EncodedGraph()
+        with pytest.raises(ValueError):
+            graph.add(Triple(Variable("x"), EX.p, EX.b))
+        with pytest.raises(ValueError):
+            graph.add_triple(EX.a, EX.p, Variable("o"))
+
+    def test_remove_unknown_term_is_noop(self):
+        graph = EncodedGraph([Triple(EX.a, EX.p, EX.b)])
+        graph.remove(Triple(EX.never, EX.seen, EX.before))
+        assert len(graph) == 1
+        # probing with unknown terms answers empty, not KeyError
+        assert list(graph.triples(EX.never, None, None)) == []
+        assert graph.pattern_cardinality(None, EX.seen, None) == 0
+
+    def test_copy_shares_dictionary_but_not_indexes(self):
+        graph = EncodedGraph([Triple(EX.a, EX.p, EX.b)])
+        clone = graph.copy()
+        clone.add(Triple(EX.a, EX.p, EX.c))
+        assert len(graph) == 1
+        assert len(clone) == 2
+        assert clone.dictionary is graph.dictionary
+
+    def test_version_counts_effective_mutations(self):
+        graph = EncodedGraph()
+        triple = Triple(EX.a, EX.p, EX.b)
+        assert graph.version == 0
+        graph.add(triple)
+        graph.add(triple)  # duplicate: no bump
+        assert graph.version == 1
+        graph.remove(triple)
+        graph.remove(triple)  # absent: no bump
+        assert graph.version == 2
+
+    @given(st.lists(st.tuples(st.booleans(), ground_triples), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_differential_against_seed_graph(self, operations):
+        """Random add/remove churn keeps both backends observably equal."""
+        seed, encoded = Graph(), EncodedGraph()
+        for is_add, triple in operations:
+            if is_add:
+                seed.add(triple)
+                encoded.add(triple)
+            else:
+                seed.remove(triple)
+                encoded.remove(triple)
+        assert Counter(iter(seed)) == Counter(iter(encoded))
+        assert seed.subjects() == encoded.subjects()
+        assert seed.predicates() == encoded.predicates()
+        assert seed.objects() == encoded.objects()
+        assert seed.terms() == encoded.terms()
+        for _, triple in operations:
+            subject, predicate, obj = triple
+            for pattern in [
+                (subject, None, None),
+                (None, predicate, None),
+                (None, None, obj),
+                (subject, predicate, None),
+                (None, predicate, obj),
+                (subject, None, obj),
+                (subject, predicate, obj),
+            ]:
+                assert seed.pattern_cardinality(*pattern) == encoded.pattern_cardinality(
+                    *pattern
+                ), pattern
+                assert Counter(seed.triples(*pattern)) == Counter(
+                    encoded.triples(*pattern)
+                ), pattern
+            assert seed.distinct_subjects(predicate) == encoded.distinct_subjects(predicate)
+            assert seed.distinct_objects(predicate) == encoded.distinct_objects(predicate)
+
+
+class TestBulkLoader:
+    def test_matches_seed_parser(self):
+        text = serialize_ntriples(countries_graph())
+        assert Counter(iter(bulk_load_ntriples(text))) == Counter(
+            iter(parse_ntriples(text))
+        )
+
+    def test_literals_comments_and_blank_nodes(self):
+        text = "\n".join(
+            [
+                "# leading comment",
+                '<http://e/s> <http://e/p> "plain" .',
+                '<http://e/s> <http://e/p> "hola"@es-419 .',
+                '<http://e/s> <http://e/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .',
+                '_:b1 <http://e/p> "esc\\"aped\\n" .',
+                "",
+                "<http://e/s> <http://e/p> _:b1 .",
+            ]
+        )
+        graph = bulk_load_ntriples(text)
+        assert Counter(iter(graph)) == Counter(iter(parse_ntriples(text)))
+        assert Literal("hola", None, "es-419") in graph.terms()
+
+    def test_accepts_line_iterables_and_files(self):
+        text = serialize_ntriples(countries_graph())
+        from_lines = bulk_load_ntriples(text.splitlines())
+        from_file = bulk_load_ntriples(io.StringIO(text))
+        assert Counter(iter(from_lines)) == Counter(iter(from_file))
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(NTriplesParseError) as excinfo:
+            bulk_load_ntriples('<http://e/s> <http://e/p> <http://e/o> .\nnot a triple .')
+        assert excinfo.value.line_number == 2
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(NTriplesParseError):
+            bulk_load_ntriples('<http://e/s> "lit" <http://e/o> .')
+
+    def test_bnode_object_dot_dialect_parity(self):
+        # '_:b.' — the greedy blank-node label swallows the dot, so the
+        # strict parser rejects the line; the fast path must agree
+        # instead of backtracking its way into accepting it.
+        line = "<http://e/s> <http://e/p> _:b."
+        with pytest.raises(NTriplesParseError):
+            parse_ntriples(line)
+        with pytest.raises(NTriplesParseError):
+            bulk_load_ntriples(line)
+        # ...while a dot-terminated label before a spaced dot is legal in
+        # both (label "b.").
+        spaced = "<http://e/s> <http://e/p> _:b. ."
+        assert Counter(iter(bulk_load_ntriples(spaced))) == Counter(
+            iter(parse_ntriples(spaced))
+        )
+
+    def test_turtle_bulk_load(self):
+        text = """
+        @prefix ex: <http://ex.org/> .
+        ex:a ex:p ex:b , ex:c ; ex:q "v"@de-CH-1901 .
+        """
+        graph = bulk_load_turtle(text)
+        assert isinstance(graph, EncodedGraph)
+        from repro.rdf.turtle import parse_turtle
+
+        assert Counter(iter(graph)) == Counter(iter(parse_turtle(text)))
+
+    def test_bulk_load_path_infers_format(self, tmp_path):
+        nt = tmp_path / "data.nt"
+        nt.write_text(serialize_ntriples(countries_graph()), encoding="utf-8")
+        assert len(bulk_load_path(nt)) == len(countries_graph())
+        ttl = tmp_path / "data.ttl"
+        ttl.write_text("@prefix ex: <http://ex.org/> .\nex:a ex:p ex:b .\n", encoding="utf-8")
+        assert len(bulk_load_path(ttl)) == 1
+        with pytest.raises(ValueError):
+            bulk_load_path(tmp_path / "data.unknown")
+
+    def test_chunked_load_matches_one_shot(self):
+        # Loading in chunks into one graph (incremental statistics path)
+        # must be indistinguishable from a single load (rebuild path).
+        lines = [
+            f"<http://e/s{i % 5}> <http://e/p{i % 2}> <http://e/o{i % 7}> ."
+            for i in range(40)
+        ]
+        one_shot = bulk_load_ntriples("\n".join(lines))
+        chunked = bulk_load_ntriples("\n".join(lines[:20]))
+        bulk_load_ntriples("\n".join(lines[20:]), chunked)
+        assert Counter(iter(one_shot)) == Counter(iter(chunked))
+        for index in range(2):
+            predicate = IRI(f"http://e/p{index}")
+            assert one_shot.pattern_cardinality(
+                None, predicate, None
+            ) == chunked.pattern_cardinality(None, predicate, None)
+            assert one_shot.distinct_subjects(predicate) == chunked.distinct_subjects(
+                predicate
+            )
+            assert one_shot.distinct_objects(predicate) == chunked.distinct_objects(
+                predicate
+            )
+        for index in range(5):
+            subject = IRI(f"http://e/s{index}")
+            assert one_shot.subject_cardinality(subject) == chunked.subject_cardinality(
+                subject
+            )
+
+    def test_failed_load_leaves_graph_consistent(self):
+        # A parse error part-way through the load must not leave the
+        # statistics (or the version stamp) behind the indexes.
+        graph = EncodedGraph([Triple(EX.a, EX.p, EX.b)])
+        version = graph.version
+        with pytest.raises(NTriplesParseError):
+            bulk_load_ntriples(
+                '<http://ex.org/a> <http://ex.org/p> <http://ex.org/c> .\n'
+                'not a triple .',
+                graph,
+            )
+        assert len(graph) == 2
+        assert graph.pattern_cardinality(EX.a, None, None) == 2
+        assert graph.subject_cardinality(EX.a) == 2
+        assert graph.version == version + 1
+
+    def test_loads_into_existing_graph(self):
+        graph = EncodedGraph([Triple(EX.a, EX.p, EX.b)])
+        bulk_load_ntriples('<http://ex.org/a> <http://ex.org/p> <http://ex.org/c> .', graph)
+        assert len(graph) == 2
+        assert graph.pattern_cardinality(EX.a, None, None) == 2
+
+
+class TestSnapshot:
+    def _graph(self):
+        return bulk_load_ntriples(
+            "\n".join(
+                [
+                    '<http://e/s1> <http://e/p> <http://e/o1> .',
+                    '<http://e/s1> <http://e/p> "x"@en-US .',
+                    '<http://e/s2> <http://e/q> "7"^^<http://www.w3.org/2001/XMLSchema#integer> .',
+                    '_:b <http://e/p> "plain" .',
+                ]
+            )
+        )
+
+    def test_round_trip_stream(self):
+        graph = self._graph()
+        buffer = io.BytesIO()
+        save_snapshot(graph, buffer)
+        buffer.seek(0)
+        loaded = load_snapshot(buffer)
+        assert Counter(iter(loaded)) == Counter(iter(graph))
+
+    def test_round_trip_path(self, tmp_path):
+        graph = self._graph()
+        path = tmp_path / "graph.snap"
+        save_snapshot(graph, path)
+        loaded = load_snapshot(path)
+        assert Counter(iter(loaded)) == Counter(iter(graph))
+
+    def test_bad_magic_and_truncation(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            load_snapshot(io.BytesIO(b"NOTASNAP" + b"\0" * 16))
+        buffer = io.BytesIO()
+        save_snapshot(self._graph(), buffer)
+        truncated = buffer.getvalue()[:-5]
+        with pytest.raises(SnapshotError):
+            load_snapshot(io.BytesIO(truncated))
+
+    def test_trailing_bytes_rejected(self):
+        buffer = io.BytesIO()
+        save_snapshot(self._graph(), buffer)
+        with pytest.raises(SnapshotError):
+            load_snapshot(io.BytesIO(buffer.getvalue() + b"\0" * 24))
+
+    def test_out_of_range_triple_id_rejected(self):
+        # Corrupt id streams must fail at load time, not as an IndexError
+        # during a later decode.
+        buffer = io.BytesIO()
+        save_snapshot(self._graph(), buffer)
+        data = bytearray(buffer.getvalue())
+        data[-8:] = (1 << 40).to_bytes(8, "little")  # clobber the last oid
+        with pytest.raises(SnapshotError):
+            load_snapshot(io.BytesIO(bytes(data)))
+
+    def test_corrupt_kind_tag_rejected(self):
+        buffer = io.BytesIO()
+        save_snapshot(self._graph(), buffer)
+        data = bytearray(buffer.getvalue())
+        # Flip the kind bits of the last object id while staying in range.
+        original = int.from_bytes(data[-8:], "little")
+        data[-8:] = (original ^ 0b11).to_bytes(8, "little")
+        with pytest.raises(SnapshotError):
+            load_snapshot(io.BytesIO(bytes(data)))
+
+    def test_duplicate_triple_records_rejected(self):
+        buffer = io.BytesIO()
+        save_snapshot(self._graph(), buffer)
+        data = bytearray(buffer.getvalue())
+        # Duplicate the last id record and bump the declared triple count.
+        n_offset = len(data) - 4 * 24 - 8
+        count = int.from_bytes(data[n_offset:n_offset + 8], "little")
+        assert count == 4
+        data[n_offset:n_offset + 8] = (count + 1).to_bytes(8, "little")
+        data.extend(data[-24:])
+        with pytest.raises(SnapshotError):
+            load_snapshot(io.BytesIO(bytes(data)))
+
+    @given(st.lists(ground_triples, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, triple_list):
+        """Snapshot load reproduces the triple multiset and the statistics."""
+        graph = EncodedGraph(triple_list)
+        buffer = io.BytesIO()
+        save_snapshot(graph, buffer)
+        buffer.seek(0)
+        loaded = load_snapshot(buffer)
+        assert Counter(iter(loaded)) == Counter(iter(graph))
+        for triple in triple_list:
+            subject, predicate, obj = triple
+            for pattern in [
+                (subject, None, None),
+                (None, predicate, None),
+                (None, None, obj),
+                (subject, predicate, None),
+                (None, predicate, obj),
+                (subject, None, obj),
+            ]:
+                assert graph.pattern_cardinality(*pattern) == loaded.pattern_cardinality(
+                    *pattern
+                )
+            assert graph.distinct_subjects(predicate) == loaded.distinct_subjects(predicate)
+            assert graph.distinct_objects(predicate) == loaded.distinct_objects(predicate)
+        assert graph.distinct_predicates() == loaded.distinct_predicates()
+
+
+class TestBackendFactory:
+    def test_default_is_hash(self):
+        assert type(create_graph()) is Graph
+
+    def test_named_backends(self):
+        assert type(create_graph("hash")) is Graph
+        assert type(create_graph("encoded")) is EncodedGraph
+        assert set(GRAPH_BACKENDS) == {"hash", "encoded"}
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_BACKEND", "encoded")
+        assert type(create_graph()) is EncodedGraph
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            create_graph("btree")
+
+    def test_prefilled(self):
+        triples = list(countries_graph())
+        assert len(create_graph("encoded", triples)) == len(triples)
+
+
+class TestPlannedQueryDifferential:
+    """Planned SPARQL evaluation is backend-independent."""
+
+    QUERIES = [
+        "SELECT ?a ?c WHERE { ?a ex:borders ?b . ?b ex:borders ?c }",
+        "SELECT ?x WHERE { ?x ex:borders ex:germany . ?x ex:borders ex:belgium }",
+        "ASK WHERE { ex:spain ex:borders ?x . ?x ex:borders ?y }",
+        "SELECT ?a ?b WHERE { ?a ex:borders+ ?b }",
+        "SELECT (COUNT(?x) AS ?n) WHERE { ?s ex:borders ?x }",
+    ]
+
+    @pytest.mark.parametrize("query_text", QUERIES)
+    def test_same_solutions(self, query_text):
+        query = parse_query("PREFIX ex: <http://ex.org/>\n" + query_text)
+        triples = list(countries_graph())
+        results = []
+        for backend in ("hash", "encoded"):
+            graph = create_graph(backend, triples)
+            evaluator = SparqlEvaluator(Dataset.from_graph(graph))
+            outcome = evaluator.evaluate(query)
+            results.append(
+                outcome if isinstance(outcome, bool) else Counter(outcome.rows())
+            )
+        assert results[0] == results[1]
+
+    @given(st.lists(ground_triples, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_join_query_property(self, triple_list):
+        query = parse_query(
+            "SELECT ?s ?o ?o2 WHERE { ?s <http://ex.org/a> ?o . ?o <http://ex.org/a> ?o2 }"
+        )
+        rows = []
+        for backend in ("hash", "encoded"):
+            graph = create_graph(backend, triple_list)
+            result = SparqlEvaluator(Dataset.from_graph(graph)).evaluate(query)
+            rows.append(Counter(result.rows()))
+        assert rows[0] == rows[1]
