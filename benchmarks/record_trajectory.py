@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Record the benchmark trajectory artifact for one PR.
+
+Runs the bench suites under pytest with ``REPRO_BENCH_JSON`` pointed at a
+scratch file (see :mod:`benchmarks.conftest`), normalises the raw metric
+dump into the committed schema (``benchmarks/bench_trajectory_schema.json``)
+by stamping the PR number onto every entry and sorting deterministically,
+validates the result, and writes ``BENCH_<pr>.json``.  CI uploads that
+file with ``actions/upload-artifact`` so the perf trajectory — speedup
+ratios, memory per triple, triples per second — is recorded from PR 3
+onward and regressions show up as a bend in the curve, not an anecdote.
+
+Usage::
+
+    python benchmarks/record_trajectory.py --pr 3 --output BENCH_3.json
+    python benchmarks/record_trajectory.py --pr 3 --suites planner store idjoin
+
+By default every ``benchmarks/test_bench_*.py`` file runs (the figure /
+table benches exercise the drivers but record no metrics); ``--suites``
+restricts the run to the named metric-bearing suites for a quick local
+refresh.  Exits non-zero when pytest fails or the artifact does not
+validate, so the CI job gates on both.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+SCHEMA_PATH = os.path.join(BENCH_DIR, "bench_trajectory_schema.json")
+
+
+# ----------------------------------------------------------------------
+# schema validation (dependency-free subset of JSON Schema)
+# ----------------------------------------------------------------------
+def validate_entries(entries: object, schema: dict) -> list:
+    """Validate the artifact against the committed schema.
+
+    Implements exactly the subset the schema uses — array-of-objects,
+    required keys, per-property type / minimum / minLength — so the gate
+    needs no third-party validator.  Returns a list of human-readable
+    problems (empty = valid).
+    """
+    problems = []
+    if not isinstance(entries, list):
+        return [f"top level must be an array, got {type(entries).__name__}"]
+    item_schema = schema.get("items", {})
+    required = item_schema.get("required", [])
+    properties = item_schema.get("properties", {})
+    for position, entry in enumerate(entries):
+        label = f"entry {position}"
+        if not isinstance(entry, dict):
+            problems.append(f"{label}: must be an object")
+            continue
+        for key in required:
+            if key not in entry:
+                problems.append(f"{label}: missing required key {key!r}")
+        for key, spec in properties.items():
+            if key not in entry:
+                continue
+            value = entry[key]
+            expected = spec.get("type")
+            if expected == "integer":
+                if not isinstance(value, int) or isinstance(value, bool):
+                    problems.append(f"{label}: {key!r} must be an integer")
+                    continue
+            elif expected == "number":
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    problems.append(f"{label}: {key!r} must be a number")
+                    continue
+            elif expected == "string":
+                if not isinstance(value, str):
+                    problems.append(f"{label}: {key!r} must be a string")
+                    continue
+            if "minimum" in spec and value < spec["minimum"]:
+                problems.append(f"{label}: {key!r} below minimum {spec['minimum']}")
+            if "minLength" in spec and len(value) < spec["minLength"]:
+                problems.append(f"{label}: {key!r} shorter than {spec['minLength']}")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# bench execution
+# ----------------------------------------------------------------------
+def bench_files(suites) -> list:
+    if suites:
+        return [os.path.join(BENCH_DIR, f"test_bench_{suite}.py") for suite in suites]
+    return sorted(glob.glob(os.path.join(BENCH_DIR, "test_bench_*.py")))
+
+
+def run_benches(files, raw_path: str) -> int:
+    env = dict(os.environ)
+    env["REPRO_BENCH_JSON"] = raw_path
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    command = [sys.executable, "-m", "pytest", "-q", "-s", *files]
+    print("+", " ".join(command), flush=True)
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pr", type=int, required=True, help="PR number to stamp")
+    parser.add_argument(
+        "--output", default=None, help="artifact path (default BENCH_<pr>.json)"
+    )
+    parser.add_argument(
+        "--suites",
+        nargs="*",
+        default=None,
+        metavar="SUITE",
+        help="restrict to test_bench_<suite>.py files (default: all)",
+    )
+    args = parser.parse_args(argv)
+    output = args.output or os.path.join(REPO_ROOT, f"BENCH_{args.pr}.json")
+
+    files = bench_files(args.suites)
+    missing = [path for path in files if not os.path.exists(path)]
+    if missing:
+        print(f"error: no such bench file(s): {missing}", file=sys.stderr)
+        return 2
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        raw_path = handle.name
+    try:
+        status = run_benches(files, raw_path)
+        if status != 0:
+            print(f"error: pytest exited with {status}", file=sys.stderr)
+            return status
+        with open(raw_path, "r", encoding="utf-8") as handle:
+            raw_entries = json.load(handle)
+    finally:
+        if os.path.exists(raw_path):
+            os.unlink(raw_path)
+
+    entries = [{"pr": args.pr, **entry} for entry in raw_entries]
+    entries.sort(key=lambda entry: (entry["suite"], entry["test"], entry["metric"]))
+
+    with open(SCHEMA_PATH, "r", encoding="utf-8") as handle:
+        schema = json.load(handle)
+    problems = validate_entries(entries, schema)
+    if problems:
+        for problem in problems:
+            print(f"schema violation: {problem}", file=sys.stderr)
+        return 1
+    if not entries:
+        print("error: bench run recorded no metrics", file=sys.stderr)
+        return 1
+
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(entries, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    suites = sorted({entry["suite"] for entry in entries})
+    print(f"wrote {output}: {len(entries)} metrics from suites {suites}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,7 +74,7 @@ def _compare(dataset, query_text):
     return naive_time, planned_time
 
 
-def test_bench_planner_star_speedup():
+def test_bench_planner_star_speedup(bench_metrics):
     """Acceptance gate: >= 5x on a 3-pattern star, selective pattern last."""
     dataset = _star_dataset()
     naive_time, planned_time = _compare(
@@ -84,10 +84,11 @@ def test_bench_planner_star_speedup():
     speedup = naive_time / max(planned_time, 1e-9)
     print(f"\nstar: naive={naive_time * 1e3:.2f}ms planned={planned_time * 1e3:.2f}ms "
           f"speedup={speedup:.1f}x")
+    bench_metrics.record("planner", "star", "speedup_ratio", speedup, "x")
     assert speedup >= 5.0, f"expected >=5x speedup, got {speedup:.2f}x"
 
 
-def test_bench_planner_chain():
+def test_bench_planner_chain(bench_metrics):
     dataset = _chain_dataset()
     naive_time, planned_time = _compare(
         dataset,
@@ -96,6 +97,7 @@ def test_bench_planner_chain():
     speedup = naive_time / max(planned_time, 1e-9)
     print(f"\nchain: naive={naive_time * 1e3:.2f}ms planned={planned_time * 1e3:.2f}ms "
           f"speedup={speedup:.1f}x")
+    bench_metrics.record("planner", "chain", "speedup_ratio", speedup, "x")
     assert speedup >= 2.0, f"expected >=2x speedup, got {speedup:.2f}x"
 
 

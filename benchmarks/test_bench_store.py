@@ -84,7 +84,7 @@ def _retained_memory(builder) -> int:
     return current
 
 
-def test_bench_store_bulk_load_speedup():
+def test_bench_store_bulk_load_speedup(bench_metrics):
     """Acceptance gate: >=3x bulk-load speedup over the seed parser."""
     seed_graph, seed_time = _best_time(lambda: parse_ntriples(_text()))
     encoded_graph, encoded_time = _best_time(lambda: bulk_load_ntriples(_text()))
@@ -94,10 +94,18 @@ def test_bench_store_bulk_load_speedup():
         f"\nbulk load: seed={seed_time:.3f}s encoded={encoded_time:.3f}s "
         f"speedup={speedup:.2f}x"
     )
+    bench_metrics.record("store", "bulk_load", "speedup_ratio", speedup, "x")
+    bench_metrics.record(
+        "store",
+        "bulk_load",
+        "triples_per_second",
+        len(encoded_graph) / max(encoded_time, 1e-9),
+        "triples/s",
+    )
     assert speedup >= 3.0, f"expected >=3x bulk-load speedup, got {speedup:.2f}x"
 
 
-def test_bench_store_memory_per_triple():
+def test_bench_store_memory_per_triple(bench_metrics):
     """Acceptance gate: <=0.5x memory per triple vs the seed graph."""
     _text()  # pre-build the shared document outside the tracemalloc windows
     seed_bytes = _retained_memory(lambda: parse_ntriples(_text()))
@@ -107,10 +115,14 @@ def test_bench_store_memory_per_triple():
         f"\nmemory/triple: seed={seed_bytes / N_TRIPLES:.0f}B "
         f"encoded={encoded_bytes / N_TRIPLES:.0f}B ratio={ratio:.3f}"
     )
+    bench_metrics.record("store", "memory", "memory_ratio", ratio, "x")
+    bench_metrics.record(
+        "store", "memory", "bytes_per_triple", encoded_bytes / N_TRIPLES, "B"
+    )
     assert ratio <= 0.5, f"expected <=0.5x memory per triple, got {ratio:.3f}x"
 
 
-def test_bench_store_snapshot_warm_start():
+def test_bench_store_snapshot_warm_start(bench_metrics):
     """Snapshot load beats re-parsing the text by >=3x (measured ~17x)."""
     _, parse_time = _best_time(lambda: parse_ntriples(_text()))
     graph = bulk_load_ntriples(_text())
@@ -124,6 +136,7 @@ def test_bench_store_snapshot_warm_start():
         f"({speedup:.1f}x), {len(data) / 1e6:.1f}MB on disk"
     )
     assert Counter(loaded.id_triples()) == Counter(graph.id_triples())
+    bench_metrics.record("store", "snapshot", "speedup_ratio", speedup, "x")
     assert speedup >= 3.0, f"expected >=3x snapshot warm start, got {speedup:.2f}x"
 
 

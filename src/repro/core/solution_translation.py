@@ -108,6 +108,7 @@ class SolutionTranslator:
 
         Delegates to the reference evaluator's shared helper so both
         engines use the identical comparator (unbound / errored keys sort
-        strictly first for ASC and DESC alike).
+        strictly first under ASC and strictly last under DESC, the
+        reference-engine placement).
         """
         return apply_order_by(conditions, bindings)

@@ -58,11 +58,19 @@ from repro.sparql.algebra import (
 from repro.sparql.expressions import (
     Aggregate,
     Expression,
+    conjuncts,
     evaluate as evaluate_expression,
     satisfies,
 )
 from repro.sparql.functions import ExpressionError
-from repro.sparql.plan import BGPPlan, execute_plan, match_triple, plan_bgp
+from repro.sparql.idexec import execute_plan_ids, supports_id_execution
+from repro.sparql.plan import (
+    BGPPlan,
+    attach_filters,
+    execute_plan,
+    match_triple,
+    plan_bgp,
+)
 from repro.sparql.paths import (
     AlternativePath,
     InversePath,
@@ -88,9 +96,23 @@ class SparqlEvaluator:
     #: Upper bound on cached BGP plans (LRU-evicted beyond this).
     PLAN_CACHE_SIZE = 256
 
-    def __init__(self, dataset: Dataset, use_planner: bool = True) -> None:
+    def __init__(
+        self,
+        dataset: Dataset,
+        use_planner: bool = True,
+        use_id_execution: bool = True,
+        use_filter_pushdown: bool = True,
+    ) -> None:
         self.dataset = dataset
         self.use_planner = use_planner
+        # Execute planned BGPs entirely over integer term ids when the
+        # active graph is an encoded store (decode only at the result
+        # boundary); off recovers the decoded-Term join pipeline.
+        self.use_id_execution = use_id_execution
+        # Push FILTER conjuncts over planned BGPs into the streaming
+        # pipeline (earliest step binding their variables); off recovers
+        # the evaluate-then-post-filter baseline.
+        self.use_filter_pushdown = use_filter_pushdown
         # BGP plans keyed by (graph identity, graph version, pattern tuple):
         # repeated workload queries skip re-planning, and any mutation of
         # the graph bumps its version stamp, invalidating stale entries.
@@ -241,6 +263,9 @@ class SparqlEvaluator:
         if isinstance(node, Minus):
             return self._eval_minus(node, active_graph, dataset)
         if isinstance(node, Filter):
+            pushed = self._try_filter_pushdown(node, active_graph)
+            if pushed is not None:
+                return list(pushed)
             inner = self._eval_pattern(node.pattern, active_graph, dataset)
             return [binding for binding in inner if satisfies(node.condition, binding)]
         if isinstance(node, GraphGraphPattern):
@@ -258,11 +283,56 @@ class SparqlEvaluator:
             for pattern in node.patterns
         )
 
-    def _eval_bgp_stream(self, node: BGP, active_graph: Graph) -> Iterator[Binding]:
-        """Plan a BGP and stream its solutions (index-nested-loop pipeline)."""
+    def _try_filter_pushdown(
+        self, node: Filter, active_graph: Graph
+    ) -> Optional[Iterator[Binding]]:
+        """Stream a FILTER-over-BGP with conditions pushed between joins.
+
+        Peels nested FILTER wrappers down to the pattern they scope over;
+        when that is a plannable BGP, the conjuncts are attached to the
+        earliest plan step binding their variables and the whole stack
+        evaluates in one streaming pass.  Returns ``None`` when pushdown
+        does not apply (disabled, or the inner pattern is not a BGP).
+        """
+        if not self.use_filter_pushdown:
+            return None
+        conditions: List[Expression] = []
+        current: GraphPatternNode = node
+        while isinstance(current, Filter):
+            conditions.extend(conjuncts(current.condition))
+            current = current.pattern
+        if not isinstance(current, BGP) or not self._plannable_bgp(current):
+            return None
+        return self._eval_bgp_stream(current, active_graph, tuple(conditions))
+
+    def _eval_bgp_stream(
+        self,
+        node: BGP,
+        active_graph: Graph,
+        conditions: Tuple[Expression, ...] = (),
+    ) -> Iterator[Binding]:
+        """Plan a BGP and stream its solutions (index-nested-loop pipeline).
+
+        ``conditions`` are FILTER conjuncts scoped over the BGP; they are
+        attached to the earliest plan step binding their variables so
+        non-qualifying rows die before later joins multiply them.  On an
+        id-capable graph (the encoded store) the pipeline joins over raw
+        term ids and decodes only at the result boundary.
+        """
         plan = self._bgp_plan(node, active_graph)
+        step_filters = attach_filters(plan, conditions) if conditions else None
+        if self.use_id_execution and supports_id_execution(active_graph):
+            return execute_plan_ids(
+                plan,
+                active_graph,
+                path_evaluator=self._eval_path_pattern,
+                step_filters=step_filters,
+            )
         return execute_plan(
-            plan, active_graph, path_evaluator=self._eval_path_pattern
+            plan,
+            active_graph,
+            path_evaluator=self._eval_path_pattern,
+            step_filters=step_filters,
         )
 
     def _bgp_plan(self, node: BGP, active_graph: Graph) -> BGPPlan:
@@ -314,6 +384,9 @@ class SparqlEvaluator:
         if isinstance(node, BGP) and self._plannable_bgp(node):
             return self._eval_bgp_stream(node, active_graph)
         if isinstance(node, Filter):
+            pushed = self._try_filter_pushdown(node, active_graph)
+            if pushed is not None:
+                return pushed
             inner = self._eval_pattern_stream(node.pattern, active_graph, dataset)
             return (
                 binding for binding in inner if satisfies(node.condition, binding)
@@ -779,13 +852,15 @@ def apply_order_by(
 ) -> List[Binding]:
     """Sort bindings by the ORDER BY conditions.
 
-    An unbound (or errored) key sorts strictly before every bound term,
-    for ASC and DESC alike — SPARQL ranks unbound lowest, and we pin
-    unbound rows first in both directions so their placement never flips
-    with the sort direction.  The bound/unbound flag is kept outside the
-    direction-reversing wrapper so it is never inverted, which also
-    guarantees the wrapped values compared against each other are always
-    of the same shape.  Shared by the reference evaluator and the
+    SPARQL ranks an unbound (or errored) key lowest, and DESC reverses
+    the whole ordering — so unbound rows sort strictly *first* under ASC
+    and strictly *last* under DESC, matching the reference engines (Jena
+    ARQ, Virtuoso).  The bound/unbound flag therefore participates in the
+    direction: ASC keeps ``(0, unbound) < (1, bound)`` while DESC flips
+    the flag and wraps the bound part in the comparison inverter, giving
+    ``(0, bound-descending) < (1, unbound)``.  Within one flag value the
+    compared shapes are always identical (both unbound, or both wrapped
+    the same way).  Shared by the reference evaluator and the
     translated-solution engine so both stay order-consistent.
     """
 
@@ -797,10 +872,12 @@ def apply_order_by(
             except ExpressionError:
                 value = None
             if value is None:
-                key.append((0, ()))
+                key.append((0, ()) if condition.ascending else (1, ()))
             else:
                 part = term_sort_key(value)
-                key.append((1, part if condition.ascending else _Reversed(part)))
+                key.append(
+                    (1, part) if condition.ascending else (0, _Reversed(part))
+                )
         return key
 
     return sorted(bindings, key=sort_key)

@@ -334,3 +334,18 @@ def satisfies(expression: Expression, binding: Binding) -> bool:
         return effective_boolean_value(evaluate(expression, binding))
     except ExpressionError:
         return False
+
+
+def conjuncts(expression: Expression) -> List[Expression]:
+    """Split an expression into its top-level conjuncts.
+
+    Under FILTER's error-as-false semantics ``FILTER(A && B)`` keeps
+    exactly the rows kept by ``FILTER(A) FILTER(B)``: ``&&`` only yields
+    true when both sides are error-free and true, and every other
+    combination (false, or an error on either side) rejects the row either
+    way.  That equivalence is what lets the evaluator push each conjunct
+    independently to the earliest join step binding its variables.
+    """
+    if isinstance(expression, And):
+        return conjuncts(expression.left) + conjuncts(expression.right)
+    return [expression]

@@ -1,0 +1,299 @@
+"""Id-native streaming execution of BGP plans over the encoded store.
+
+The dictionary-encoded store (:mod:`repro.store.encoded`) keeps its
+SPO/POS/OSP indexes over integer term ids, but until this module the
+evaluator joined over decoded :class:`~repro.rdf.terms.Term` objects, so
+every index probe paid a dictionary decode and every intermediate row
+materialised boxed terms.  :func:`execute_plan_ids` runs the planner's
+index-nested-loop pipeline entirely in id space instead:
+
+* partial solutions are plain ``{Variable: int}`` environments mutated
+  in place down the depth-first pipeline (bind on match, unbind on
+  backtrack) — no per-row allocation at all for intermediate rows,
+* triple patterns probe :meth:`EncodedGraph.match_triple_ids` directly,
+* FILTER conjuncts pushed between steps (:func:`repro.sparql.plan.attach_filters`)
+  are compiled by :class:`IdFilter`: ``sameTerm`` and ``=`` / ``!=``
+  comparisons decide on raw ids and kind tags whenever that is sound,
+  and every other condition decodes *only the variables it mentions*,
+* terms are decoded through the :class:`~repro.store.dictionary.TermDictionary`
+  exactly once, at the result boundary, through a precomputed variable
+  order so the :class:`~repro.sparql.solutions.Binding` construction
+  skips its sort.
+
+Property paths remain term-level (closure expansion is inherently about
+terms): a path step decodes its bound endpoints, runs the evaluator's
+path machinery, and re-interns the fresh endpoint bindings.
+
+When is the raw-id fast path sound?  Id equality always implies term
+equality (interning is structural), so equal ids decide ``sameTerm``,
+``=`` and ``!=`` immediately.  *Unequal* ids decide ``sameTerm`` always,
+but decide ``=`` / ``!=`` only when the two ids are not both literals:
+distinct literal ids may still be value-equal (``"1"^^xsd:integer`` vs
+``"01"^^xsd:integer``), so that single case falls back to decoding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.rdf.terms import Term, Variable
+from repro.sparql.algebra import PathPattern, TriplePatternNode
+from repro.sparql.expressions import (
+    Comparison,
+    Expression,
+    FunctionCall,
+    TermExpr,
+    VariableExpr,
+    satisfies,
+)
+from repro.sparql.plan import BGPPlan, PathEvaluator, StepFilters, _match_path
+from repro.sparql.solutions import Binding, EMPTY_BINDING
+from repro.store.dictionary import TermDictionary
+
+#: An id-space partial solution: variable -> interned term id.
+IdEnv = Dict[Variable, int]
+
+
+def supports_id_execution(graph: object) -> bool:
+    """True when ``graph`` exposes the id-level store surface.
+
+    Duck-typed rather than an ``isinstance`` check so alternative encoded
+    backends (a future sharded store, mmap snapshots, ...) opt in by
+    implementing ``match_triple_ids`` + ``dictionary``.
+    """
+    return hasattr(graph, "match_triple_ids") and hasattr(graph, "dictionary")
+
+
+# ----------------------------------------------------------------------
+# compiled FILTER conjuncts
+# ----------------------------------------------------------------------
+#: Operand of a fast probe: (is_variable, Variable | constant id).
+_OperandSpec = Tuple[bool, object]
+
+
+def _operand_spec(
+    expression: Expression, dictionary: TermDictionary
+) -> Optional[_OperandSpec]:
+    """Compile a probe operand, or None when no id fast path exists.
+
+    A constant that was never interned gets no spec: the dictionary can
+    still intern it mid-execution (e.g. a zero-length path endpoint), so
+    a stale "absent" verdict could go wrong — those conditions just take
+    the decoding slow path.
+    """
+    if isinstance(expression, VariableExpr):
+        return (True, expression.variable)
+    if isinstance(expression, TermExpr):
+        term_id = dictionary.id_for(expression.term)
+        if term_id is None:
+            return None
+        return (False, term_id)
+    return None
+
+
+class IdFilter:
+    """A FILTER conjunct compiled against a term dictionary.
+
+    ``test`` first consults the raw-id probe (when one was compiled); a
+    probe may return a definitive verdict or ``None`` for "undecidable on
+    ids" (distinct literal ids under ``=``), in which case — like for any
+    condition without a probe — only the variables the condition mentions
+    are decoded and the full SPARQL semantics run on a tiny binding.
+    """
+
+    __slots__ = ("condition", "needed", "_probe")
+
+    def __init__(self, condition: Expression, dictionary: TermDictionary) -> None:
+        self.condition = condition
+        self.needed = tuple(condition.variables())
+        self._probe = self._compile_probe(condition, dictionary)
+
+    @staticmethod
+    def _compile_probe(condition: Expression, dictionary: TermDictionary):
+        if (
+            isinstance(condition, FunctionCall)
+            and condition.name.upper() == "SAMETERM"
+            and len(condition.arguments) == 2
+        ):
+            left = _operand_spec(condition.arguments[0], dictionary)
+            right = _operand_spec(condition.arguments[1], dictionary)
+            if left is not None and right is not None:
+                return (left, right, None)
+        if isinstance(condition, Comparison) and condition.operator in ("=", "!="):
+            left = _operand_spec(condition.left, dictionary)
+            right = _operand_spec(condition.right, dictionary)
+            if left is not None and right is not None:
+                return (left, right, condition.operator == "=")
+        return None
+
+    def test(self, env: IdEnv, dictionary: TermDictionary) -> bool:
+        probe = self._probe
+        if probe is not None:
+            (left_is_var, left), (right_is_var, right), equality = probe
+            left_id = env.get(left) if left_is_var else left
+            right_id = env.get(right) if right_is_var else right
+            if left_id is None or right_id is None:
+                # An unbound variable raises in SPARQL; FILTER counts the
+                # error as "not satisfied" for sameTerm, = and != alike.
+                return False
+            if equality is None:  # sameTerm: structural identity == id identity
+                return left_id == right_id
+            if left_id == right_id:
+                return equality
+            if not (
+                TermDictionary.is_literal(left_id)
+                and TermDictionary.is_literal(right_id)
+            ):
+                return not equality
+            # Two distinct literal ids may still be value-equal: decode.
+        decode = dictionary.term
+        mapping: Dict[Variable, Term] = {}
+        for variable in self.needed:
+            term_id = env.get(variable)
+            if term_id is not None:
+                mapping[variable] = decode(term_id)
+        return satisfies(self.condition, Binding(mapping))
+
+
+def _compile_step_filters(
+    step_filters: Optional[StepFilters], dictionary: TermDictionary
+) -> Optional[List[Tuple[IdFilter, ...]]]:
+    if step_filters is None:
+        return None
+    return [
+        tuple(IdFilter(condition, dictionary) for condition in slot)
+        for slot in step_filters
+    ]
+
+
+# ----------------------------------------------------------------------
+# id-space index-nested-loop pipeline
+# ----------------------------------------------------------------------
+def execute_plan_ids(
+    plan: BGPPlan,
+    graph,
+    path_evaluator: Optional[PathEvaluator] = None,
+    step_filters: Optional[StepFilters] = None,
+    initial: Binding = EMPTY_BINDING,
+) -> Iterator[Binding]:
+    """Run a BGP plan over an id-capable graph, decoding only results.
+
+    The semantics match :func:`repro.sparql.plan.execute_plan` exactly
+    (the differential suite holds both to the same multisets); the work
+    per intermediate row is an int dict probe instead of Term hashing and
+    Binding construction.
+    """
+    dictionary: TermDictionary = graph.dictionary
+    steps = plan.steps
+    env: IdEnv = {}
+    if len(initial):
+        # encode (not id_for): an initial term outside the graph gets a
+        # fresh id that simply never matches a probe — identical, by
+        # construction, to the term-space pipeline finding no triples.
+        encode = dictionary.encode
+        for variable, term in initial.items():
+            env[variable] = encode(term)
+    filters = _compile_step_filters(step_filters, dictionary)
+    if filters is not None and not all(
+        id_filter.test(env, dictionary) for id_filter in filters[0]
+    ):
+        return
+
+    # Compile each step: triple patterns to (is_variable, value) component
+    # triples with constants pre-interned; a constant the dictionary has
+    # never seen cannot occur in any triple, so the BGP is empty.
+    compiled: List[Tuple[bool, object]] = []
+    for step in steps:
+        node = step.node
+        if isinstance(node, TriplePatternNode):
+            parts = []
+            for part in node.triple:
+                if isinstance(part, Variable):
+                    parts.append((True, part))
+                else:
+                    term_id = dictionary.id_for(part)
+                    if term_id is None:
+                        return
+                    parts.append((False, term_id))
+            compiled.append((True, tuple(parts)))
+        elif isinstance(node, PathPattern):
+            if path_evaluator is None:
+                raise TypeError("plan contains a path pattern but no path evaluator")
+            compiled.append((False, node))
+        else:  # pragma: no cover - plan_bgp only admits the two kinds above
+            raise TypeError(f"unsupported plan node {type(node).__name__}")
+
+    # The environment's domain at the leaf is the same for every result
+    # row (every step binds its variables), so the decode order — and the
+    # Binding sort — is computed once.
+    result_variables = set(env)
+    for step in steps:
+        result_variables |= step.node.variables()
+    ordered = tuple(sorted(result_variables, key=lambda variable: variable.name))
+    decode = dictionary.term
+    match_ids = graph.match_triple_ids
+    total = len(steps)
+
+    def recurse(position: int) -> Iterator[Binding]:
+        if position == total:
+            yield Binding.from_sorted_items(
+                tuple((variable, decode(env[variable])) for variable in ordered)
+            )
+            return
+        is_triple, data = compiled[position]
+        slot = filters[position + 1] if filters is not None else ()
+        if is_triple:
+            probe = []
+            free: List[Tuple[int, Variable]] = []
+            for index, (is_variable, value) in enumerate(data):
+                if is_variable:
+                    bound = env.get(value)
+                    probe.append(bound)
+                    if bound is None:
+                        free.append((index, value))
+                else:
+                    probe.append(value)
+            for ids in match_ids(probe[0], probe[1], probe[2]):
+                added: List[Variable] = []
+                consistent = True
+                for index, variable in free:
+                    value = ids[index]
+                    current = env.get(variable)
+                    if current is None:
+                        env[variable] = value
+                        added.append(variable)
+                    elif current != value:
+                        # Repeated variable (?x p ?x) matched two ids.
+                        consistent = False
+                        break
+                if consistent and all(
+                    id_filter.test(env, dictionary) for id_filter in slot
+                ):
+                    yield from recurse(position + 1)
+                for variable in added:
+                    del env[variable]
+        else:
+            node = data
+            endpoint_mapping: Dict[Variable, Term] = {}
+            for part in (node.subject, node.object):
+                if isinstance(part, Variable):
+                    term_id = env.get(part)
+                    if term_id is not None:
+                        endpoint_mapping[part] = decode(term_id)
+            base = Binding(endpoint_mapping)
+            encode = dictionary.encode
+            for extension in _match_path(graph, node, base, path_evaluator):
+                added = []
+                for variable, term in extension.items():
+                    if variable not in endpoint_mapping:
+                        # Fresh endpoint: interning is idempotent for graph
+                        # terms and harmlessly append-only for the rare
+                        # zero-length-path endpoint outside the graph.
+                        env[variable] = encode(term)
+                        added.append(variable)
+                if all(id_filter.test(env, dictionary) for id_filter in slot):
+                    yield from recurse(position + 1)
+                for variable in added:
+                    del env[variable]
+
+    yield from recurse(0)

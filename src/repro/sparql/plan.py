@@ -35,6 +35,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tupl
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Term, Triple, Variable
 from repro.sparql.algebra import GraphPatternNode, PathPattern, TriplePatternNode
+from repro.sparql.expressions import Expression, satisfies
 from repro.sparql.paths import (
     AlternativePath,
     InversePath,
@@ -52,6 +53,11 @@ from repro.sparql.solutions import Binding, EMPTY_BINDING
 #: against a graph; the evaluator passes its own path machinery in so this
 #: module does not depend on the evaluator (avoiding an import cycle).
 PathEvaluator = Callable[[PathPattern, Graph], List[Binding]]
+
+#: Per-step FILTER attachment produced by :func:`attach_filters`: slot 0
+#: holds conditions checked against the initial binding, slot ``i + 1``
+#: those checked right after plan step ``i`` extends a row.
+StepFilters = Tuple[Tuple[Expression, ...], ...]
 
 #: Cost multiplier for closure path operators (``+``, ``*``, ``?``): they
 #: expand transitively, so a closure step is priced above the plain link
@@ -235,6 +241,43 @@ def plan_bgp(graph: Graph, patterns: Sequence[GraphPatternNode]) -> BGPPlan:
 
 
 # ----------------------------------------------------------------------
+# FILTER pushdown
+# ----------------------------------------------------------------------
+def attach_filters(
+    plan: BGPPlan, conditions: Sequence[Expression]
+) -> StepFilters:
+    """Assign each FILTER conjunct to the earliest step binding its variables.
+
+    Once every variable a condition mentions is bound, later steps can
+    only *extend* a row with other variables — they never rebind existing
+    ones — so the condition's verdict is final and checking it early
+    prunes the row before the remaining joins multiply it.  Conditions
+    with no variables land in slot 0 (checked once, before any probing);
+    conditions mentioning a variable the plan never binds land after the
+    last step, where they evaluate exactly as a post-filter would (the
+    unbound variable raises, and the error counts as "not satisfied").
+    """
+    slots: List[List[Expression]] = [[] for _ in range(len(plan.steps) + 1)]
+    bound_after: List[Set[Variable]] = []
+    bound: Set[Variable] = set()
+    for step in plan.steps:
+        bound = bound | step.node.variables()
+        bound_after.append(bound)
+    for condition in conditions:
+        variables = condition.variables()
+        target = len(plan.steps)
+        if not variables:
+            target = 0
+        else:
+            for position, available in enumerate(bound_after):
+                if variables <= available:
+                    target = position + 1
+                    break
+        slots[target].append(condition)
+    return tuple(tuple(slot) for slot in slots)
+
+
+# ----------------------------------------------------------------------
 # streaming index-nested-loop execution
 # ----------------------------------------------------------------------
 def match_triple(
@@ -323,9 +366,20 @@ def execute_plan(
     graph: Graph,
     path_evaluator: Optional[PathEvaluator] = None,
     initial: Binding = EMPTY_BINDING,
+    step_filters: Optional[StepFilters] = None,
 ) -> Iterator[Binding]:
-    """Run a plan as a streaming index-nested-loop pipeline."""
+    """Run a plan as a streaming index-nested-loop pipeline.
+
+    ``step_filters`` (from :func:`attach_filters`) interleaves FILTER
+    checks with the joins: a row failing its slot's conditions dies
+    immediately instead of being extended by every later step and
+    post-filtered at the end.
+    """
     steps = plan.steps
+    if step_filters is not None and not all(
+        satisfies(condition, initial) for condition in step_filters[0]
+    ):
+        return iter(())
 
     def recurse(position: int, binding: Binding) -> Iterator[Binding]:
         if position == len(steps):
@@ -340,7 +394,10 @@ def execute_plan(
             matches = _match_path(graph, node, binding, path_evaluator)
         else:  # pragma: no cover - plan_bgp only admits the two kinds above
             raise TypeError(f"unsupported plan node {type(node).__name__}")
+        slot = step_filters[position + 1] if step_filters is not None else ()
         for extended in matches:
+            if slot and not all(satisfies(condition, extended) for condition in slot):
+                continue
             yield from recurse(position + 1, extended)
 
     return recurse(0, initial)

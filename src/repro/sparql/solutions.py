@@ -30,6 +30,22 @@ class Binding:
         self._items: Tuple[Tuple[Variable, Term], ...] = items
         self._hash = hash(items)
 
+    @classmethod
+    def from_sorted_items(
+        cls, items: Tuple[Tuple[Variable, Term], ...]
+    ) -> "Binding":
+        """Build a binding from pairs already sorted by variable name.
+
+        Skips the per-construction sort of ``__init__`` — the id-native
+        executor decodes every result row through a precomputed variable
+        order, so re-sorting at the decode boundary would only burn time.
+        The caller guarantees sortedness; equality/hashing rely on it.
+        """
+        binding = object.__new__(cls)
+        binding._items = items
+        binding._hash = hash(items)
+        return binding
+
     # -- mapping protocol ----------------------------------------------
     def __getitem__(self, variable: Variable) -> Term:
         for var, term in self._items:

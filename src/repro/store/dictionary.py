@@ -177,6 +177,16 @@ class TermDictionary:
         """Return the kind tag (KIND_IRI / KIND_BLANK / KIND_LITERAL) of an id."""
         return term_id & _KIND_MASK
 
+    @staticmethod
+    def is_literal(term_id: int) -> bool:
+        """True when the id denotes a literal — no decode needed.
+
+        The id-native FILTER fast path uses this to decide whether two
+        distinct ids may still be ``=``-equal (only literals compare by
+        value; IRIs and blank nodes compare by identity).
+        """
+        return term_id & _KIND_MASK == KIND_LITERAL
+
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------

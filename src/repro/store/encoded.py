@@ -322,9 +322,14 @@ class EncodedGraph:
         predicate: Optional[Term] = None,
         obj: Optional[Term] = None,
     ) -> Iterator[Triple]:
-        """Yield all triples matching the pattern (``None`` = wildcard)."""
+        """Yield all triples matching the pattern (``None`` = wildcard).
+
+        Delegates the per-shape index walk to :meth:`match_triple_ids`
+        (the single copy of the SPO/POS/OSP dispatch) and decodes at the
+        boundary; decoding is a memoised list lookup, and bound pattern
+        components decode back to terms equal to the ones passed in.
+        """
         lookup = self._dict.id_for
-        decode = self._dict.term
         sid = pid = oid = None
         if subject is not None:
             sid = lookup(subject)
@@ -338,63 +343,11 @@ class EncodedGraph:
             oid = lookup(obj)
             if oid is None:
                 return
-        if sid is not None and pid is not None and oid is not None:
-            by_predicate = self._spo.get(sid)
-            if by_predicate is not None and _entry_contains(by_predicate.get(pid), oid):
-                yield Triple(subject, predicate, obj)
-            return
-        if sid is not None:
-            if oid is not None:  # S ? O — probe OSP directly
-                by_subject = self._osp.get(oid)
-                if by_subject is None:
-                    return
-                entry = by_subject.get(sid)
-                if entry is None:
-                    return
-                for matched_pid in _entry_iter(entry):
-                    yield Triple(subject, decode(matched_pid), obj)
-                return
-            by_predicate = self._spo.get(sid)
-            if by_predicate is None:
-                return
-            if pid is not None:  # S P ?
-                entry = by_predicate.get(pid)
-                if entry is None:
-                    return
-                for matched_oid in _entry_iter(entry):
-                    yield Triple(subject, predicate, decode(matched_oid))
-            else:  # S ? ?
-                for matched_pid, entry in by_predicate.items():
-                    matched_predicate = decode(matched_pid)
-                    for matched_oid in _entry_iter(entry):
-                        yield Triple(subject, matched_predicate, decode(matched_oid))
-            return
-        if pid is not None:
-            by_object = self._pos.get(pid)
-            if by_object is None:
-                return
-            if oid is not None:  # ? P O
-                entry = by_object.get(oid)
-                if entry is None:
-                    return
-                for matched_sid in _entry_iter(entry):
-                    yield Triple(decode(matched_sid), predicate, obj)
-            else:  # ? P ?
-                for matched_oid, entry in by_object.items():
-                    matched_obj = decode(matched_oid)
-                    for matched_sid in _entry_iter(entry):
-                        yield Triple(decode(matched_sid), predicate, matched_obj)
-            return
-        if oid is not None:  # ? ? O
-            by_subject = self._osp.get(oid)
-            if by_subject is None:
-                return
-            for matched_sid, entry in by_subject.items():
-                matched_subject = decode(matched_sid)
-                for matched_pid in _entry_iter(entry):
-                    yield Triple(matched_subject, decode(matched_pid), obj)
-            return
-        yield from iter(self)
+        decode = self._dict.term
+        for matched_sid, matched_pid, matched_oid in self.match_triple_ids(
+            sid, pid, oid
+        ):
+            yield Triple(decode(matched_sid), decode(matched_pid), decode(matched_oid))
 
     def subjects(self) -> Set[Term]:
         """Return the set of all subjects."""
@@ -476,24 +429,7 @@ class EncodedGraph:
             oid = lookup(obj)
             if oid is None:
                 return 0
-        if sid is not None and pid is not None and oid is not None:
-            by_predicate = self._spo.get(sid)
-            if by_predicate is None:
-                return 0
-            return 1 if _entry_contains(by_predicate.get(pid), oid) else 0
-        if sid is not None:
-            if pid is not None:
-                return _entry_len(self._spo.get(sid, {}).get(pid))
-            if oid is not None:
-                return _entry_len(self._osp.get(oid, {}).get(sid))
-            return self._subject_counts.get(sid, 0)
-        if pid is not None:
-            if oid is not None:
-                return _entry_len(self._pos.get(pid, {}).get(oid))
-            return self._predicate_counts.get(pid, 0)
-        if oid is not None:
-            return self._object_counts.get(oid, 0)
-        return self._len
+        return self.pattern_cardinality_ids(sid, pid, oid)
 
     def objects_for(self, subject: Term, predicate: Term) -> Set[Term]:
         """Return the set of objects for a fixed subject and predicate."""
@@ -520,6 +456,97 @@ class EncodedGraph:
             return set()
         decode = self._dict.term
         return {decode(sid) for sid in _entry_iter(entry)}
+
+    # ------------------------------------------------------------------
+    # id-level pattern matching (used by the id-native BGP executor)
+    # ------------------------------------------------------------------
+    def match_triple_ids(
+        self,
+        sid: Optional[int] = None,
+        pid: Optional[int] = None,
+        oid: Optional[int] = None,
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Yield matching triples as ``(sid, pid, oid)`` id tuples.
+
+        The id-space counterpart of :meth:`triples`: ``None`` components
+        are wildcards, the most selective index for the probe shape is
+        used, and no term is ever decoded — this is the surface the
+        id-native join pipeline (:mod:`repro.sparql.idexec`) runs on.
+        """
+        if sid is not None:
+            if pid is not None:
+                if oid is not None:  # S P O — membership probe
+                    by_predicate = self._spo.get(sid)
+                    if by_predicate is not None and _entry_contains(
+                        by_predicate.get(pid), oid
+                    ):
+                        yield sid, pid, oid
+                    return
+                entry = self._spo.get(sid, {}).get(pid)  # S P ?
+                if entry is not None:
+                    for matched_oid in _entry_iter(entry):
+                        yield sid, pid, matched_oid
+                return
+            if oid is not None:  # S ? O — probe OSP directly
+                entry = self._osp.get(oid, {}).get(sid)
+                if entry is not None:
+                    for matched_pid in _entry_iter(entry):
+                        yield sid, matched_pid, oid
+                return
+            by_predicate = self._spo.get(sid)  # S ? ?
+            if by_predicate is not None:
+                for matched_pid, entry in by_predicate.items():
+                    for matched_oid in _entry_iter(entry):
+                        yield sid, matched_pid, matched_oid
+            return
+        if pid is not None:
+            by_object = self._pos.get(pid)
+            if by_object is None:
+                return
+            if oid is not None:  # ? P O
+                entry = by_object.get(oid)
+                if entry is not None:
+                    for matched_sid in _entry_iter(entry):
+                        yield matched_sid, pid, oid
+                return
+            for matched_oid, entry in by_object.items():  # ? P ?
+                for matched_sid in _entry_iter(entry):
+                    yield matched_sid, pid, matched_oid
+            return
+        if oid is not None:  # ? ? O
+            by_subject = self._osp.get(oid)
+            if by_subject is not None:
+                for matched_sid, entry in by_subject.items():
+                    for matched_pid in _entry_iter(entry):
+                        yield matched_sid, matched_pid, oid
+            return
+        yield from self.id_triples()  # ? ? ?
+
+    def pattern_cardinality_ids(
+        self,
+        sid: Optional[int] = None,
+        pid: Optional[int] = None,
+        oid: Optional[int] = None,
+    ) -> int:
+        """Exact number of triples matching an id pattern (``None`` = wildcard)."""
+        if sid is not None and pid is not None and oid is not None:
+            by_predicate = self._spo.get(sid)
+            if by_predicate is None:
+                return 0
+            return 1 if _entry_contains(by_predicate.get(pid), oid) else 0
+        if sid is not None:
+            if pid is not None:
+                return _entry_len(self._spo.get(sid, {}).get(pid))
+            if oid is not None:
+                return _entry_len(self._osp.get(oid, {}).get(sid))
+            return self._subject_counts.get(sid, 0)
+        if pid is not None:
+            if oid is not None:
+                return _entry_len(self._pos.get(pid, {}).get(oid))
+            return self._predicate_counts.get(pid, 0)
+        if oid is not None:
+            return self._object_counts.get(oid, 0)
+        return self._len
 
     # ------------------------------------------------------------------
     # id-level access (used by the bulk loader and snapshots)

@@ -16,11 +16,27 @@ import tests.test_sparql_evaluator as evaluator_suite
 from repro.store import EncodedGraph
 
 
-@pytest.fixture(autouse=True)
-def _encoded_backend(monkeypatch):
-    """Substitute EncodedGraph for Graph in the suites and their helpers."""
+@pytest.fixture(autouse=True, params=["id-native", "decoded"])
+def _encoded_backend(request, monkeypatch):
+    """Substitute EncodedGraph for Graph in the suites and their helpers.
+
+    Parametrised over both execution pipelines: the default evaluator
+    joins planned BGPs over raw dictionary ids (``id-native``), the
+    ``decoded`` variant pins the term-space pipeline — so every assertion
+    of the evaluator suite doubles as a decoded-vs-id-native differential
+    on the encoded backend.
+    """
     for module in (graph_suite, evaluator_suite, helpers):
         monkeypatch.setattr(module, "Graph", EncodedGraph)
+    if request.param == "decoded":
+        reference = evaluator_suite.SparqlEvaluator
+
+        def decoded_evaluator(dataset, **kwargs):
+            kwargs.setdefault("use_id_execution", False)
+            kwargs.setdefault("use_filter_pushdown", False)
+            return reference(dataset, **kwargs)
+
+        monkeypatch.setattr(evaluator_suite, "SparqlEvaluator", decoded_evaluator)
     yield
 
 

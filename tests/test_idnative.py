@@ -1,0 +1,396 @@
+"""Tests for id-native BGP execution and streaming FILTER pushdown.
+
+Three layers of assurance that the id-space pipeline
+(:mod:`repro.sparql.idexec`) is a pure optimisation:
+
+* targeted unit tests for the moving parts — filter attachment, the
+  raw-id fast paths (including the one genuinely subtle case: distinct
+  dictionary ids for value-equal literals), path patterns inside an
+  id-native plan,
+* a hypothesis differential property: random BGP + FILTER queries on
+  random graphs return the identical multiset of solutions across all
+  four evaluator configurations (hash / encoded backend x decoded /
+  optimised pipeline),
+* a workload differential: every query of all five paper workloads,
+  id-native vs decoded, on the encoded backend.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.terms import Literal, Triple, Variable, XSD_INTEGER
+from repro.sparql.evaluator import SparqlEvaluator
+from repro.sparql.expressions import (
+    And,
+    Comparison,
+    FunctionCall,
+    TermExpr,
+    VariableExpr,
+    conjuncts,
+)
+from repro.sparql.idexec import IdFilter, execute_plan_ids, supports_id_execution
+from repro.sparql.parser import parse_query
+from repro.sparql.plan import attach_filters, plan_bgp
+from repro.sparql.solutions import Binding
+from repro.store import EncodedGraph
+
+from tests.helpers import EX
+
+PREFIX = "PREFIX ex: <http://ex.org/>\n"
+
+
+def tp(subject, predicate, obj):
+    from repro.sparql.algebra import TriplePatternNode
+
+    return TriplePatternNode(Triple(subject, predicate, obj))
+
+
+def _all_configurations(graph_triples):
+    """Both backends x (optimised, decoded-baseline) evaluators."""
+    configurations = []
+    for backend in (Graph, EncodedGraph):
+        dataset = Dataset.from_graph(backend(graph_triples))
+        configurations.append(SparqlEvaluator(dataset))
+        configurations.append(
+            SparqlEvaluator(
+                dataset, use_id_execution=False, use_filter_pushdown=False
+            )
+        )
+    return configurations
+
+
+def _assert_all_equal(query_text, graph_triples):
+    query = parse_query(query_text)
+    results = [
+        Counter(evaluator.evaluate(query).rows())
+        for evaluator in _all_configurations(graph_triples)
+    ]
+    for other in results[1:]:
+        assert other == results[0]
+    return results[0]
+
+
+# ----------------------------------------------------------------------
+# filter attachment
+# ----------------------------------------------------------------------
+class TestAttachFilters:
+    def _plan(self):
+        graph = Graph([Triple(EX.s, EX.p, EX.o), Triple(EX.o, EX.q, EX.t)])
+        x, y = Variable("x"), Variable("y")
+        return plan_bgp(graph, [tp(EX.s, EX.p, x), tp(x, EX.q, y)]), x, y
+
+    def test_condition_lands_after_earliest_binding_step(self):
+        plan, x, y = self._plan()
+        condition = Comparison("=", VariableExpr(x), TermExpr(EX.o))
+        slots = attach_filters(plan, [condition])
+        bound_first = plan.steps[0].node.variables()
+        expected = 1 if x in bound_first else 2
+        assert slots[expected] == (condition,)
+        assert sum(len(slot) for slot in slots) == 1
+
+    def test_variable_free_condition_lands_in_slot_zero(self):
+        plan, _, _ = self._plan()
+        condition = Comparison("=", TermExpr(EX.o), TermExpr(EX.o))
+        slots = attach_filters(plan, [condition])
+        assert slots[0] == (condition,)
+
+    def test_never_bound_variable_lands_after_last_step(self):
+        plan, _, _ = self._plan()
+        condition = FunctionCall("BOUND", (VariableExpr(Variable("missing")),))
+        slots = attach_filters(plan, [condition])
+        assert slots[-1] == (condition,)
+
+    def test_conjuncts_split_nested_and(self):
+        x = VariableExpr(Variable("x"))
+        a = Comparison("=", x, TermExpr(EX.o))
+        b = Comparison("!=", x, TermExpr(EX.t))
+        c = FunctionCall("ISIRI", (x,))
+        assert conjuncts(And(And(a, b), c)) == [a, b, c]
+
+
+# ----------------------------------------------------------------------
+# raw-id fast paths
+# ----------------------------------------------------------------------
+class TestIdFilterFastPaths:
+    def _graph(self):
+        graph = EncodedGraph()
+        graph.add(Triple(EX.a, EX.p, Literal("1", XSD_INTEGER)))
+        graph.add(Triple(EX.b, EX.p, Literal("01", XSD_INTEGER)))
+        graph.add(Triple(EX.c, EX.p, EX.a))
+        return graph
+
+    def test_value_equal_literals_with_distinct_ids(self):
+        # "1"^^xsd:integer and "01"^^xsd:integer intern to different ids
+        # but compare =-equal by value: the fast path must *not* decide
+        # this case on ids and must fall back to decoding.
+        graph = self._graph()
+        v = Variable("v")
+        condition = Comparison(
+            "=", VariableExpr(v), TermExpr(Literal("01", XSD_INTEGER))
+        )
+        id_filter = IdFilter(condition, graph.dictionary)
+        one = graph.dictionary.id_for(Literal("1", XSD_INTEGER))
+        zero_one = graph.dictionary.id_for(Literal("01", XSD_INTEGER))
+        assert one != zero_one
+        assert id_filter.test({v: one}, graph.dictionary) is True
+        assert id_filter.test({v: zero_one}, graph.dictionary) is True
+
+    def test_sameterm_distinguishes_value_equal_literals(self):
+        graph = self._graph()
+        v = Variable("v")
+        condition = FunctionCall(
+            "SAMETERM",
+            (VariableExpr(v), TermExpr(Literal("01", XSD_INTEGER))),
+        )
+        id_filter = IdFilter(condition, graph.dictionary)
+        assert id_filter._probe is not None  # the fast path compiled
+        one = graph.dictionary.id_for(Literal("1", XSD_INTEGER))
+        zero_one = graph.dictionary.id_for(Literal("01", XSD_INTEGER))
+        assert id_filter.test({v: zero_one}, graph.dictionary) is True
+        assert id_filter.test({v: one}, graph.dictionary) is False
+
+    def test_iri_inequality_decided_on_ids(self):
+        graph = self._graph()
+        v = Variable("v")
+        condition = Comparison("!=", VariableExpr(v), TermExpr(EX.a))
+        id_filter = IdFilter(condition, graph.dictionary)
+        assert id_filter._probe is not None
+        a = graph.dictionary.id_for(EX.a)
+        b = graph.dictionary.id_for(EX.b)
+        assert id_filter.test({v: a}, graph.dictionary) is False
+        assert id_filter.test({v: b}, graph.dictionary) is True
+
+    def test_unbound_variable_is_an_error_hence_false(self):
+        graph = self._graph()
+        v = Variable("v")
+        for condition in (
+            Comparison("=", VariableExpr(v), TermExpr(EX.a)),
+            FunctionCall("SAMETERM", (VariableExpr(v), TermExpr(EX.a))),
+        ):
+            assert IdFilter(condition, graph.dictionary).test({}, graph.dictionary) is False
+
+    def test_uninterned_constant_takes_the_slow_path(self):
+        graph = self._graph()
+        v = Variable("v")
+        condition = Comparison("=", VariableExpr(v), TermExpr(EX.never_seen))
+        id_filter = IdFilter(condition, graph.dictionary)
+        assert id_filter._probe is None
+        a = graph.dictionary.id_for(EX.a)
+        assert id_filter.test({v: a}, graph.dictionary) is False
+
+
+# ----------------------------------------------------------------------
+# end-to-end id-native evaluation
+# ----------------------------------------------------------------------
+class TestIdNativeEvaluation:
+    def _triples(self):
+        return [
+            Triple(EX.s1, EX.p, EX.o1),
+            Triple(EX.s1, EX.q, Literal("1", XSD_INTEGER)),
+            Triple(EX.s2, EX.p, EX.o2),
+            Triple(EX.s2, EX.q, Literal("01", XSD_INTEGER)),
+            Triple(EX.o1, EX.r, EX.s2),
+        ]
+
+    def test_supports_id_execution_detection(self):
+        assert supports_id_execution(EncodedGraph())
+        assert not supports_id_execution(Graph())
+
+    def test_filtered_bgp_matches_across_configurations(self):
+        rows = _assert_all_equal(
+            PREFIX
+            + "SELECT ?s ?v WHERE { ?s ex:p ?o . ?s ex:q ?v . FILTER(?v = 1) }",
+            self._triples(),
+        )
+        assert sum(rows.values()) == 2  # both integer spellings are =-equal
+
+    def test_sameterm_filter_matches_across_configurations(self):
+        rows = _assert_all_equal(
+            PREFIX
+            + 'SELECT ?s WHERE { ?s ex:q ?v . FILTER(sameTerm(?v, "1"^^'
+            + "<http://www.w3.org/2001/XMLSchema#integer>)) }",
+            self._triples(),
+        )
+        assert sum(rows.values()) == 1
+
+    def test_nested_filters_and_conjunctions_push_down(self):
+        _assert_all_equal(
+            PREFIX
+            + "SELECT ?s ?o WHERE { ?s ex:p ?o . ?o ex:r ?t ."
+            + " FILTER(?s != ?t && isIRI(?o)) FILTER(bound(?s)) }",
+            self._triples(),
+        )
+
+    def test_filter_on_variable_outside_bgp_drops_all_rows(self):
+        rows = _assert_all_equal(
+            PREFIX + "SELECT ?s WHERE { ?s ex:p ?o . FILTER(?nope = 1) }",
+            self._triples(),
+        )
+        assert not rows
+
+    def test_path_pattern_inside_id_native_bgp(self):
+        _assert_all_equal(
+            PREFIX + "SELECT ?s ?t WHERE { ?s ex:p/ex:r ?t . ?t ex:p ?o }",
+            self._triples(),
+        )
+        _assert_all_equal(
+            PREFIX + "SELECT ?s ?t WHERE { ?s (ex:p|ex:r)+ ?t . FILTER(?t = ex:s2) }",
+            self._triples(),
+        )
+
+    def test_repeated_variable_in_triple_pattern(self):
+        triples = self._triples() + [Triple(EX.loop, EX.p, EX.loop)]
+        rows = _assert_all_equal(
+            PREFIX + "SELECT ?x WHERE { ?x ex:p ?x }", triples
+        )
+        assert rows == Counter({(EX.loop,): 1})
+
+    def test_execute_plan_ids_rejects_paths_without_evaluator(self):
+        from repro.sparql.algebra import PathPattern
+        from repro.sparql.paths import LinkPath
+
+        graph = EncodedGraph(self._triples())
+        plan = plan_bgp(
+            graph, [PathPattern(Variable("a"), LinkPath(EX.p), Variable("b"))]
+        )
+        with pytest.raises(TypeError):
+            list(execute_plan_ids(plan, graph))
+
+    def test_initial_binding_with_foreign_term_yields_nothing(self):
+        graph = EncodedGraph(self._triples())
+        x, o = Variable("x"), Variable("o")
+        plan = plan_bgp(graph, [tp(x, EX.p, o)])
+        initial = Binding({x: EX.unseen_subject})
+        assert list(execute_plan_ids(plan, graph, initial=initial)) == []
+
+    def test_ask_short_circuits_through_id_pipeline(self):
+        dataset = Dataset.from_graph(EncodedGraph(self._triples()))
+        evaluator = SparqlEvaluator(dataset)
+        query = parse_query(
+            PREFIX + "ASK WHERE { ?s ex:p ?o . FILTER(sameTerm(?o, ex:o1)) }"
+        )
+        assert evaluator.evaluate(query) is True
+
+
+# ----------------------------------------------------------------------
+# hypothesis differential: random BGP + FILTER on random graphs
+# ----------------------------------------------------------------------
+_NODES = [EX[f"n{i}"] for i in range(6)]
+_PREDICATES = [EX.p, EX.q]
+_LITERALS = [
+    Literal("1", XSD_INTEGER),
+    Literal("01", XSD_INTEGER),
+    Literal("2", XSD_INTEGER),
+    Literal("alpha"),
+]
+_VARIABLES = [Variable(name) for name in ("x", "y", "z")]
+
+edges = st.lists(
+    st.tuples(
+        st.sampled_from(_NODES),
+        st.sampled_from(_PREDICATES),
+        st.sampled_from(_NODES + _LITERALS),
+    ),
+    min_size=0,
+    max_size=20,
+)
+
+subject_part = st.sampled_from(_VARIABLES + _NODES)
+object_part = st.sampled_from(_VARIABLES + _NODES + _LITERALS)
+pattern = st.tuples(subject_part, st.sampled_from(_PREDICATES), object_part)
+patterns = st.lists(pattern, min_size=1, max_size=3)
+
+operand = st.sampled_from(
+    [VariableExpr(variable) for variable in _VARIABLES]
+    + [TermExpr(term) for term in _NODES[:2] + _LITERALS[:3]]
+)
+comparison = st.builds(
+    Comparison, st.sampled_from(["=", "!=", "<", ">="]), operand, operand
+)
+sameterm = st.builds(
+    lambda left, right: FunctionCall("SAMETERM", (left, right)), operand, operand
+)
+bound_call = st.builds(
+    lambda variable: FunctionCall("BOUND", (VariableExpr(variable),)),
+    st.sampled_from(_VARIABLES),
+)
+condition = st.one_of(comparison, sameterm, bound_call)
+conditions = st.lists(condition, min_size=0, max_size=2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edges, bgp=patterns, filter_conditions=conditions)
+def test_differential_random_bgp_filters(edges, bgp, filter_conditions):
+    """Id-native and decoded pipelines agree on both backends."""
+    from repro.sparql.algebra import (
+        BGP,
+        Filter,
+        ProjectionItem,
+        SelectQuery,
+    )
+
+    triples = [Triple(*edge) for edge in edges]
+    node = BGP(tuple(tp(*parts) for parts in bgp))
+    pattern_node = node
+    for filter_condition in filter_conditions:
+        pattern_node = Filter(pattern_node, filter_condition)
+    variables = sorted(pattern_node.variables(), key=lambda v: v.name)
+    query = SelectQuery(
+        projection=tuple(ProjectionItem(variable) for variable in variables),
+        pattern=pattern_node,
+    )
+    results = [
+        Counter(evaluator.evaluate(query).rows())
+        for evaluator in _all_configurations(triples)
+    ]
+    for other in results[1:]:
+        assert other == results[0]
+
+
+# ----------------------------------------------------------------------
+# workload differential: all five paper workloads
+# ----------------------------------------------------------------------
+def _workloads():
+    from repro.workloads.beseppi import BeSEPPIWorkload
+    from repro.workloads.feasible import FeasibleWorkload
+    from repro.workloads.gmark import GMarkWorkload, test_scenario
+    from repro.workloads.ontology_bench import OntologyBenchmark
+    from repro.workloads.sp2bench import SP2BenchWorkload
+
+    return [
+        ("sp2bench", SP2BenchWorkload(scale=0.04, backend="encoded")),
+        ("gmark", GMarkWorkload(scenario=test_scenario(), scale=0.2, backend="encoded")),
+        ("beseppi", BeSEPPIWorkload(backend="encoded")),
+        ("feasible", FeasibleWorkload(scale=0.05, backend="encoded")),
+        ("ontology", OntologyBenchmark(scale=0.05, backend="encoded")),
+    ]
+
+
+@pytest.mark.parametrize("name,workload", _workloads(), ids=lambda value: value if isinstance(value, str) else "")
+def test_differential_workload_queries(name, workload):
+    """Every workload query: id-native multiset == decoded multiset."""
+    dataset = workload.dataset()
+    idnative = SparqlEvaluator(dataset)
+    decoded = SparqlEvaluator(
+        dataset, use_id_execution=False, use_filter_pushdown=False
+    )
+    compared = 0
+    for query in workload.queries()[:8]:
+        try:
+            parsed = parse_query(query.text)
+        except Exception:
+            continue
+        try:
+            expected = decoded.evaluate(parsed)
+        except Exception:
+            continue
+        actual = idnative.evaluate(parsed)
+        if isinstance(expected, bool):
+            assert actual == expected, query.query_id
+        else:
+            assert Counter(actual.rows()) == Counter(expected.rows()), query.query_id
+        compared += 1
+    assert compared > 0, f"no comparable queries in workload {name}"

@@ -212,18 +212,18 @@ class TestOrderByEdgeCases:
         assert rows[0][1] is None  # Steven's unbound lastname first
         assert rows[1][1] == Literal("Lucas")
 
-    def test_unbound_sorts_first_descending_too(self):
-        # Regression: the error key (0, "") was wrapped by the DESC
-        # inverter, so unbound rows flipped position with the direction;
-        # they are pinned strictly first for both ASC and DESC.
+    def test_unbound_sorts_last_descending(self):
+        # SPARQL ranks unbound lowest and DESC reverses the whole
+        # ordering, so unbound keys move to the *end* under DESC — the
+        # reference-engine placement (Jena ARQ, Virtuoso).
         result = run(
             self._optional_dataset(),
             "SELECT ?n ?l WHERE { ?x ex:name ?n OPTIONAL { ?x ex:lastname ?l } } "
             "ORDER BY DESC(?l)",
         )
         rows = result.rows()
-        assert rows[0][1] is None
-        assert rows[1][1] == Literal("Lucas")
+        assert rows[0][1] == Literal("Lucas")
+        assert rows[-1][1] is None  # Steven's unbound lastname last under DESC
 
     def test_mixed_direction_keys(self):
         result = run(

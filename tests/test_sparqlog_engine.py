@@ -9,7 +9,9 @@ from repro.core.solution_translation import SolutionTranslator
 from repro.datalog.engine import EvaluationLimitExceeded
 from repro.rdf.graph import Dataset, Graph
 from repro.rdf.terms import IRI, Literal, Triple, Variable
-from repro.sparql.algebra import DatasetClause
+from repro.sparql.algebra import DatasetClause, OrderCondition
+from repro.sparql.expressions import VariableExpr
+from repro.sparql.solutions import Binding
 
 from tests.helpers import EX, countries_dataset, countries_graph, directors_dataset
 
@@ -147,3 +149,30 @@ class TestSolutionTranslation:
         )
         assert len(duplicated) == 5
         assert Counter(row[0] for row in deduplicated.rows())[EX.france] == 1
+
+
+class TestSolutionTranslationOrderBy:
+    """The translated-solution engine shares the evaluator's comparator."""
+
+    def _rows(self):
+        lastname = Variable("l")
+        bound = Binding({lastname: Literal("Lucas")})
+        unbound = Binding({})
+        return lastname, bound, unbound
+
+    def test_unbound_sorts_first_ascending(self):
+        lastname, bound, unbound = self._rows()
+        ordered = SolutionTranslator._order(
+            [bound, unbound], (OrderCondition(VariableExpr(lastname), True),)
+        )
+        assert ordered == [unbound, bound]
+
+    def test_unbound_sorts_last_descending(self):
+        # Regression for the ROADMAP-flagged semantics: DESC reverses the
+        # whole ordering, so unbound keys move to the end (reference-engine
+        # behaviour), in the translation exactly as in the evaluator.
+        lastname, bound, unbound = self._rows()
+        ordered = SolutionTranslator._order(
+            [unbound, bound], (OrderCondition(VariableExpr(lastname), False),)
+        )
+        assert ordered == [bound, unbound]

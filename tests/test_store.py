@@ -484,3 +484,68 @@ class TestPlannedQueryDifferential:
             result = SparqlEvaluator(Dataset.from_graph(graph)).evaluate(query)
             rows.append(Counter(result.rows()))
         assert rows[0] == rows[1]
+
+
+class TestIdLevelSurface:
+    """The id-native executor's store surface: match_triple_ids & friends."""
+
+    def _graph(self):
+        graph = EncodedGraph()
+        graph.add(Triple(EX.s1, EX.p, EX.o1))
+        graph.add(Triple(EX.s1, EX.p, EX.o2))
+        graph.add(Triple(EX.s1, EX.q, EX.o1))
+        graph.add(Triple(EX.s2, EX.p, EX.o1))
+        return graph
+
+    def _ids(self, graph, *terms):
+        return tuple(graph.dictionary.id_for(term) for term in terms)
+
+    def test_match_triple_ids_agrees_with_triples_on_every_shape(self):
+        graph = self._graph()
+        s1, p, o1 = self._ids(graph, EX.s1, EX.p, EX.o1)
+        shapes = [
+            (None, None, None),
+            (s1, None, None),
+            (None, p, None),
+            (None, None, o1),
+            (s1, p, None),
+            (s1, None, o1),
+            (None, p, o1),
+            (s1, p, o1),
+        ]
+        decode = graph.dictionary.term
+        for sid, pid, oid in shapes:
+            by_ids = Counter(
+                Triple(decode(s), decode(q), decode(o))
+                for s, q, o in graph.match_triple_ids(sid, pid, oid)
+            )
+            by_terms = Counter(
+                graph.triples(
+                    decode(sid) if sid is not None else None,
+                    decode(pid) if pid is not None else None,
+                    decode(oid) if oid is not None else None,
+                )
+            )
+            assert by_ids == by_terms, (sid, pid, oid)
+            assert graph.pattern_cardinality_ids(sid, pid, oid) == sum(
+                by_ids.values()
+            ), (sid, pid, oid)
+
+    def test_match_triple_ids_misses_return_empty(self):
+        graph = self._graph()
+        s1, p = self._ids(graph, EX.s1, EX.p)
+        absent = 1 << 20  # an id the dictionary never handed out
+        assert list(graph.match_triple_ids(absent, None, None)) == []
+        assert list(graph.match_triple_ids(s1, absent, None)) == []
+        assert list(graph.match_triple_ids(s1, p, absent)) == []
+        assert graph.pattern_cardinality_ids(absent) == 0
+
+    def test_match_triple_ids_tracks_removal(self):
+        graph = self._graph()
+        s1, p, o2 = self._ids(graph, EX.s1, EX.p, EX.o2)
+        assert graph.pattern_cardinality_ids(s1, p, None) == 2
+        graph.remove(Triple(EX.s1, EX.p, EX.o2))
+        assert list(graph.match_triple_ids(s1, p, None)) == [
+            (s1, p, self._ids(graph, EX.o1)[0])
+        ]
+        assert graph.pattern_cardinality_ids(s1, p, o2) == 0
