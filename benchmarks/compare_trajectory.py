@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Compare two benchmark trajectory artifacts and gate on regressions.
+
+Loads the freshly-recorded ``BENCH_<pr>.json`` and the previous committed
+artifact (auto-discovered as the highest-numbered ``BENCH_*.json`` below
+the current PR when ``--previous`` is omitted), diffs every metric shared
+by both, and **fails on any previously-gated speedup that regressed by
+more than the threshold** (default 25%).  Non-speedup metrics — load
+rates, memory per triple, absolute times — are reported for the job log
+but never fail the build: they gate in their own smoke jobs, with
+thresholds chosen per metric.
+
+The comparison keys on ``(suite, test, metric)``; a metric present in
+only one artifact is reported as added/removed.  A *removed* speedup
+metric is called out loudly (a silently deleted gate is how perf records
+grow holes) but does not fail, so benches can be reorganised
+deliberately.
+
+Usage::
+
+    python benchmarks/compare_trajectory.py --current BENCH_5.json
+    python benchmarks/compare_trajectory.py \
+        --current BENCH_5.json --previous BENCH_3.json --threshold 0.25
+
+Exits 1 on a gated regression, 2 on usage / IO errors, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+#: Metrics where larger is better and a drop is a gated regression.
+GATED_METRICS = frozenset({"speedup_ratio"})
+#: Metrics where larger is better (reported only).
+HIGHER_BETTER = frozenset({"speedup_ratio", "triples_per_second"})
+
+
+def load_entries(path: str) -> dict:
+    """Load an artifact into a ``{(suite, test, metric): value}`` map."""
+    with open(path, "r", encoding="utf-8") as handle:
+        entries = json.load(handle)
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: expected a JSON array")
+    metrics = {}
+    for entry in entries:
+        key = (entry["suite"], entry["test"], entry["metric"])
+        metrics[key] = float(entry["value"])
+    return metrics
+
+
+def find_previous(current_path: str) -> str | None:
+    """The highest-numbered committed BENCH_<n>.json below the current one."""
+    current_name = os.path.basename(current_path)
+    match = re.fullmatch(r"BENCH_(\d+)\.json", current_name)
+    current_pr = int(match.group(1)) if match else None
+    best_pr, best_path = -1, None
+    for path in glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")):
+        name_match = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+        if name_match is None:
+            continue
+        pr = int(name_match.group(1))
+        if current_pr is not None and pr >= current_pr:
+            continue
+        if os.path.abspath(path) == os.path.abspath(current_path):
+            continue
+        if pr > best_pr:
+            best_pr, best_path = pr, path
+    return best_path
+
+
+def compare(previous: dict, current: dict, threshold: float) -> int:
+    """Print the diff; return the number of gated regressions."""
+    regressions = 0
+    shared = sorted(set(previous) & set(current))
+    for key in shared:
+        suite, test, metric = key
+        old, new = previous[key], current[key]
+        if old:
+            change = (new - old) / abs(old)
+            change_label = f"{change:+.1%}"
+        else:
+            change = 0.0
+            change_label = "n/a"
+        verdict = "ok"
+        if metric in GATED_METRICS and new < old * (1.0 - threshold):
+            verdict = f"REGRESSION (>{threshold:.0%} drop)"
+            regressions += 1
+        elif metric not in HIGHER_BETTER:
+            verdict = "info"
+        print(
+            f"  {suite}/{test}/{metric}: {old:.4g} -> {new:.4g} "
+            f"({change_label}) [{verdict}]"
+        )
+    for key in sorted(set(current) - set(previous)):
+        print(f"  {'/'.join(key)}: (new metric) {current[key]:.4g}")
+    for key in sorted(set(previous) - set(current)):
+        metric = key[2]
+        marker = "GATE REMOVED — was a tracked speedup" if metric in GATED_METRICS else "removed"
+        print(f"  {'/'.join(key)}: {marker} (was {previous[key]:.4g})")
+    if not shared:
+        print("  warning: no shared metrics between the two artifacts")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current", required=True, help="freshly recorded BENCH_<pr>.json"
+    )
+    parser.add_argument(
+        "--previous",
+        default=None,
+        help="baseline artifact (default: highest committed BENCH_<n>.json below current)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional drop of a gated speedup that fails the build (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.current):
+        print(f"error: no such artifact {args.current}", file=sys.stderr)
+        return 2
+    previous_path = args.previous or find_previous(args.current)
+    if previous_path is None:
+        print("no previous BENCH_*.json found; nothing to compare", flush=True)
+        return 0
+    if not os.path.exists(previous_path):
+        print(f"error: no such artifact {previous_path}", file=sys.stderr)
+        return 2
+
+    previous = load_entries(previous_path)
+    current = load_entries(args.current)
+    print(f"comparing {args.current} against {previous_path}:")
+    regressions = compare(previous, current, args.threshold)
+    if regressions:
+        print(
+            f"error: {regressions} gated speedup(s) regressed more than "
+            f"{args.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print("trajectory check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,7 @@ from repro.sparql.paths import (
     ZeroOrOnePath,
 )
 from repro.sparql.evaluator import SparqlEvaluator
+from repro.sparql.idpaths import IdPathEngine, supports_id_paths
 from repro.sparql.plan import BGPPlan, PlanStep, evaluate_bgp, plan_bgp
 from repro.sparql.solutions import Binding, SolutionSequence
 
@@ -68,6 +69,7 @@ __all__ = [
     "Binding",
     "Filter",
     "GraphGraphPattern",
+    "IdPathEngine",
     "InversePath",
     "Join",
     "LeftJoin",
@@ -92,4 +94,5 @@ __all__ = [
     "evaluate_bgp",
     "parse_query",
     "plan_bgp",
+    "supports_id_paths",
 ]

@@ -64,6 +64,7 @@ from repro.sparql.expressions import (
 )
 from repro.sparql.functions import ExpressionError
 from repro.sparql.idexec import execute_plan_ids, supports_id_execution
+from repro.sparql.idpaths import IdPathEngine, supports_id_paths
 from repro.sparql.plan import (
     BGPPlan,
     attach_filters,
@@ -81,6 +82,7 @@ from repro.sparql.paths import (
     SequencePath,
     ZeroOrMorePath,
     ZeroOrOnePath,
+    matches_zero_length,
     normalize_path,
 )
 from repro.sparql.solutions import Binding, EMPTY_BINDING, SolutionSequence
@@ -102,6 +104,7 @@ class SparqlEvaluator:
         use_planner: bool = True,
         use_id_execution: bool = True,
         use_filter_pushdown: bool = True,
+        use_id_paths: bool = True,
     ) -> None:
         self.dataset = dataset
         self.use_planner = use_planner
@@ -113,6 +116,20 @@ class SparqlEvaluator:
         # pipeline (earliest step binding their variables); off recovers
         # the evaluate-then-post-filter baseline.
         self.use_filter_pushdown = use_filter_pushdown
+        # Evaluate property paths through the id-native engine
+        # (repro.sparql.idpaths) when the active graph exposes the id
+        # navigation surface; off recovers the term-level ALP procedure
+        # on every backend (the differential baseline).
+        self.use_id_paths = use_id_paths
+        # Small LRU of IdPathEngine per graph so repeated path steps —
+        # including ones alternating across GRAPH clauses — share each
+        # graph's node-set cache instead of rebuilding it per pattern.
+        # Strong references on purpose: the engine itself holds the
+        # graph, so an entry pins exactly the graphs recently queried
+        # (usually ones the dataset owns anyway), bounded by the LRU
+        # size; id() keys stay valid precisely because the values keep
+        # their graphs alive.
+        self._path_engine_cache: "OrderedDict[int, IdPathEngine]" = OrderedDict()
         # BGP plans keyed by (graph identity, graph version, pattern tuple):
         # repeated workload queries skip re-planning, and any mutation of
         # the graph bumps its version stamp, invalidating stale entries.
@@ -327,6 +344,10 @@ class SparqlEvaluator:
                 active_graph,
                 path_evaluator=self._eval_path_pattern,
                 step_filters=step_filters,
+                use_id_paths=self.use_id_paths,
+                path_engine=(
+                    self._id_path_engine(active_graph) if self.use_id_paths else None
+                ),
             )
         return execute_plan(
             plan,
@@ -532,6 +553,41 @@ class SparqlEvaluator:
     # property paths
     # ------------------------------------------------------------------
     def _eval_path_pattern(self, node: PathPattern, graph: Graph) -> List[Binding]:
+        """Evaluate a path pattern, preferring the id-native engine.
+
+        On an id-capable graph (the encoded store) paths run through
+        :class:`repro.sparql.idpaths.IdPathEngine` — integer frontier
+        sets, statistics-driven expansion direction, decode only at the
+        result boundary.  ``use_id_paths=False`` (or a term-only backend)
+        recovers the spec's term-level ALP procedure.
+        """
+        if self.use_id_paths:
+            engine = self._id_path_engine(graph)
+            if engine is not None:
+                return engine.evaluate(node)
+        return self._eval_path_pattern_terms(node, graph)
+
+    #: Upper bound on cached per-graph path engines.
+    PATH_ENGINE_CACHE_SIZE = 8
+
+    def _id_path_engine(self, graph: Graph) -> Optional[IdPathEngine]:
+        """Return the (cached) id path engine for ``graph``, or ``None``."""
+        cache = self._path_engine_cache
+        engine = cache.get(id(graph))
+        if engine is not None and engine.graph is graph:
+            cache.move_to_end(id(graph))
+            return engine
+        if not supports_id_paths(graph):
+            return None
+        engine = IdPathEngine(graph)
+        cache[id(graph)] = engine
+        if len(cache) > self.PATH_ENGINE_CACHE_SIZE:
+            cache.popitem(last=False)
+        return engine
+
+    def _eval_path_pattern_terms(
+        self, node: PathPattern, graph: Graph
+    ) -> List[Binding]:
         path = normalize_path(node.path)
         subject, obj = node.subject, node.object
         pairs = self._path_pairs(path, graph, subject, obj)
@@ -584,9 +640,34 @@ class SparqlEvaluator:
             by_start: Dict[Term, List[Term]] = defaultdict(list)
             for start, end in right_pairs:
                 by_start[start].append(end)
+            if matches_zero_length(path.left):
+                # A bound endpoint outside the graph self-pairs through a
+                # zero-length left half, but the left extension only
+                # self-pairs graph nodes; graft the missing pair so the
+                # join can reach it (mirrors the id engine's per-middle
+                # evaluation, which gets this for free).  When the middle
+                # *is* the bound subject, the left extension already
+                # contains the self-pair (the bound-endpoint zero rule) —
+                # grafting again would double the solution.
+                for middle in list(by_start):
+                    if self._is_ground(subject) and subject == middle:
+                        continue
+                    if not self._is_graph_node(graph, middle):
+                        left_pairs.append((middle, middle))
+            right_zero = matches_zero_length(path.right)
             results: List[Tuple[Term, Term]] = []
             for start, middle in left_pairs:
-                for end in by_start.get(middle, ()):  # bag semantics
+                ends = by_start.get(middle)
+                if ends is None:
+                    # Symmetric graft: a non-node middle (a zero-length
+                    # self-pair of a bound subject) matches a zero-length
+                    # right half even though the right extension never
+                    # mentions it.
+                    if right_zero and not self._is_graph_node(graph, middle):
+                        ends = (middle,)
+                    else:
+                        continue
+                for end in ends:  # bag semantics
                     results.append((start, end))
             return results
         if isinstance(path, NegatedPropertySet):
@@ -615,16 +696,33 @@ class SparqlEvaluator:
                     results.append((triple.object, triple.subject))
         return results
 
+    @staticmethod
+    def _is_graph_node(graph: Graph, term: Term) -> bool:
+        """True when ``term`` occurs in subject or object position."""
+        return bool(
+            graph.subject_cardinality(term) or graph.object_cardinality(term)
+        )
+
+    @staticmethod
+    def _is_ground(part: Union[Term, Variable, None]) -> bool:
+        """True for a bound term endpoint (``None`` marks a free position).
+
+        ``_path_pairs`` threads endpoint *hints* down the operator tree;
+        a sequence hands its halves ``None`` for the shared middle, which
+        must read as "free", never as a bindable term.
+        """
+        return part is not None and not isinstance(part, Variable)
+
     def _zero_pairs(
         self,
         graph: Graph,
-        subject: Union[Term, Variable],
-        obj: Union[Term, Variable],
+        subject: Union[Term, Variable, None],
+        obj: Union[Term, Variable, None],
     ) -> Set[Tuple[Term, Term]]:
         """Zero-length path pairs, including bound endpoints not in the graph."""
         pairs: Set[Tuple[Term, Term]] = {(node, node) for node in graph.nodes()}
-        subject_is_term = not isinstance(subject, Variable)
-        object_is_term = not isinstance(obj, Variable)
+        subject_is_term = self._is_ground(subject)
+        object_is_term = self._is_ground(obj)
         if subject_is_term and not object_is_term:
             pairs.add((subject, subject))
         if object_is_term and not subject_is_term:
@@ -648,21 +746,25 @@ class SparqlEvaluator:
         self,
         inner: PropertyPath,
         graph: Graph,
-        subject: Union[Term, Variable],
-        obj: Union[Term, Variable],
+        subject: Union[Term, Variable, None],
+        obj: Union[Term, Variable, None],
         include_zero: bool,
     ) -> List[Tuple[Term, Term]]:
         """Evaluate ``inner+`` / ``inner*`` with set semantics.
 
         Per-node breadth-first expansion in the style of the spec's ALP
-        procedure.  When the subject is bound we expand only from it; when
-        only the object is bound we expand backwards; otherwise we expand
-        from every node in the graph (the expensive two-variable case).
+        procedure.  When the subject is bound we expand only from it —
+        and when the object is *also* bound, the expansion stops at the
+        first sighting of the target instead of materialising the full
+        reachable set.  When only the object is bound we expand
+        backwards; otherwise we expand from every node in the graph (the
+        expensive two-variable case).  ``None`` endpoints (sequence
+        middles) count as free, exactly like fresh variables.
         """
         successors = self._single_step_function(inner, graph)
         pairs: Set[Tuple[Term, Term]] = set()
 
-        def expand(start: Term) -> Set[Term]:
+        def expand(start: Term, target: Optional[Term] = None) -> Set[Term]:
             reached: Set[Term] = set()
             frontier = deque(successors(start))
             while frontier:
@@ -670,19 +772,25 @@ class SparqlEvaluator:
                 if current in reached:
                     continue
                 reached.add(current)
+                if target is not None and current == target:
+                    # The caller only asks whether ``target`` is
+                    # reachable: the rest of the closure is never needed.
+                    return reached
                 frontier.extend(successors(current))
             return reached
 
-        if not isinstance(subject, Variable):
+        if self._is_ground(subject):
+            if self._is_ground(obj):
+                if include_zero and subject == obj:
+                    return [(subject, obj)]
+                reachable = expand(subject, target=obj)
+                return [(subject, obj)] if obj in reachable else []
             reachable = expand(subject)
             if include_zero:
                 reachable = reachable | {subject}
-            for end in reachable:
-                if isinstance(obj, Variable) or obj == end:
-                    pairs.add((subject, end))
-            return list(pairs)
+            return [(subject, end) for end in reachable]
 
-        if not isinstance(obj, Variable):
+        if self._is_ground(obj):
             inverse = InversePath(inner)
             inverted = self._closure_pairs(inverse, graph, obj, subject, include_zero)
             return [(end, start) for start, end in inverted]

@@ -20,9 +20,14 @@ index-nested-loop pipeline entirely in id space instead:
   order so the :class:`~repro.sparql.solutions.Binding` construction
   skips its sort.
 
-Property paths remain term-level (closure expansion is inherently about
-terms): a path step decodes its bound endpoints, runs the evaluator's
-path machinery, and re-interns the fresh endpoint bindings.
+Property paths run id-natively too: a path step hands its bound endpoint
+*ids* straight to the :class:`~repro.sparql.idpaths.IdPathEngine`
+(integer frontier expansion, statistics-driven direction selection) and
+binds the resulting id pairs without a single decode.  Backends exposing
+the join surface but not the navigation surface — and runs with
+``use_id_paths=False`` — fall back to the term-level bridge: decode the
+bound endpoints, run the evaluator's path machinery, re-intern the fresh
+endpoint bindings.
 
 When is the raw-id fast path sound?  Id equality always implies term
 equality (interning is structural), so equal ids decide ``sameTerm``,
@@ -46,6 +51,8 @@ from repro.sparql.expressions import (
     VariableExpr,
     satisfies,
 )
+from repro.sparql.idpaths import _ABSENT, IdPathEngine, supports_id_paths
+from repro.sparql.paths import matches_zero_length, normalize_path
 from repro.sparql.plan import BGPPlan, PathEvaluator, StepFilters, _match_path
 from repro.sparql.solutions import Binding, EMPTY_BINDING
 from repro.store.dictionary import TermDictionary
@@ -175,13 +182,18 @@ def execute_plan_ids(
     path_evaluator: Optional[PathEvaluator] = None,
     step_filters: Optional[StepFilters] = None,
     initial: Binding = EMPTY_BINDING,
+    use_id_paths: bool = True,
+    path_engine: Optional[IdPathEngine] = None,
 ) -> Iterator[Binding]:
     """Run a BGP plan over an id-capable graph, decoding only results.
 
     The semantics match :func:`repro.sparql.plan.execute_plan` exactly
     (the differential suite holds both to the same multisets); the work
     per intermediate row is an int dict probe instead of Term hashing and
-    Binding construction.
+    Binding construction.  Path steps run through the id-native
+    :class:`IdPathEngine` when the graph exposes the navigation surface
+    and ``use_id_paths`` is on; otherwise they bridge to the term-level
+    ``path_evaluator``.
     """
     dictionary: TermDictionary = graph.dictionary
     steps = plan.steps
@@ -198,11 +210,22 @@ def execute_plan_ids(
         id_filter.test(env, dictionary) for id_filter in filters[0]
     ):
         return
+    if path_engine is not None:
+        # The evaluator hands in its cached engine so repeated queries
+        # against the same graph reuse the version-stamped node-set cache.
+        engine: Optional[IdPathEngine] = path_engine
+    elif use_id_paths and supports_id_paths(graph):
+        engine = IdPathEngine(graph)
+    else:
+        engine = None
 
     # Compile each step: triple patterns to (is_variable, value) component
     # triples with constants pre-interned; a constant the dictionary has
-    # never seen cannot occur in any triple, so the BGP is empty.
-    compiled: List[Tuple[bool, object]] = []
+    # never seen cannot occur in any triple, so the BGP is empty.  Path
+    # steps destined for the id engine pre-normalize their path and
+    # pre-intern constant endpoints (a fresh id for an unseen constant is
+    # harmless: it only ever matches syntactically, via zero-length).
+    compiled: List[Tuple[str, object]] = []
     for step in steps:
         node = step.node
         if isinstance(node, TriplePatternNode):
@@ -215,11 +238,40 @@ def execute_plan_ids(
                     if term_id is None:
                         return
                     parts.append((False, term_id))
-            compiled.append((True, tuple(parts)))
+            compiled.append(("triple", tuple(parts)))
         elif isinstance(node, PathPattern):
-            if path_evaluator is None:
+            if engine is not None:
+                path = normalize_path(node.path)
+                subject_is_var = isinstance(node.subject, Variable)
+                object_is_var = isinstance(node.object, Variable)
+                # Constant endpoints resolve through the engine's shared
+                # unknown-constant rule: _ABSENT (a non-zero-admitting
+                # path with an unseen constant) empties the whole BGP.
+                subject_spec = (
+                    node.subject
+                    if subject_is_var
+                    else engine._endpoint_id(node.subject, path)
+                )
+                object_spec = (
+                    node.object
+                    if object_is_var
+                    else engine._endpoint_id(node.object, path)
+                )
+                if subject_spec is _ABSENT or object_spec is _ABSENT:
+                    return
+                spec = (
+                    path,
+                    subject_is_var,
+                    subject_spec,
+                    object_is_var,
+                    object_spec,
+                    matches_zero_length(path),
+                )
+                compiled.append(("idpath", spec))
+            elif path_evaluator is not None:
+                compiled.append(("path", node))
+            else:
                 raise TypeError("plan contains a path pattern but no path evaluator")
-            compiled.append((False, node))
         else:  # pragma: no cover - plan_bgp only admits the two kinds above
             raise TypeError(f"unsupported plan node {type(node).__name__}")
 
@@ -240,9 +292,9 @@ def execute_plan_ids(
                 tuple((variable, decode(env[variable])) for variable in ordered)
             )
             return
-        is_triple, data = compiled[position]
+        kind, data = compiled[position]
         slot = filters[position + 1] if filters is not None else ()
-        if is_triple:
+        if kind == "triple":
             probe = []
             free: List[Tuple[int, Variable]] = []
             for index, (is_variable, value) in enumerate(data):
@@ -266,6 +318,48 @@ def execute_plan_ids(
                         # Repeated variable (?x p ?x) matched two ids.
                         consistent = False
                         break
+                if consistent and all(
+                    id_filter.test(env, dictionary) for id_filter in slot
+                ):
+                    yield from recurse(position + 1)
+                for variable in added:
+                    del env[variable]
+        elif kind == "idpath":
+            path, subject_is_var, subject, object_is_var, obj, admits_zero = data
+            subject_id = env.get(subject) if subject_is_var else subject
+            object_id = env.get(obj) if object_is_var else obj
+            if admits_zero:
+                # A *substituted* variable endpoint only ranges over graph
+                # nodes, so its zero-length self-match requires node
+                # membership (constants stay syntactic) — the id-space
+                # mirror of plan._match_path's pre-check.
+                if (
+                    subject_is_var
+                    and subject_id is not None
+                    and not engine.is_node(subject_id)
+                ):
+                    return
+                if (
+                    object_is_var
+                    and object_id is not None
+                    and not engine.is_node(object_id)
+                ):
+                    return
+            for start, end in engine.pair_ids(path, subject_id, object_id):
+                added = []
+                consistent = True
+                if subject_is_var and subject_id is None:
+                    env[subject] = start
+                    added.append(subject)
+                if object_is_var and object_id is None:
+                    current = env.get(obj)
+                    if current is None:
+                        env[obj] = end
+                        added.append(obj)
+                    elif current != end:
+                        # ?x path ?x with both ends free: the subject
+                        # binding above already fixed the shared variable.
+                        consistent = False
                 if consistent and all(
                     id_filter.test(env, dictionary) for id_filter in slot
                 ):

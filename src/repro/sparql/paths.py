@@ -221,6 +221,59 @@ def expand_repeat(path: RepeatPath) -> PropertyPath:
     return SequencePath(prefix, suffix)
 
 
+def matches_zero_length(path: PropertyPath) -> bool:
+    """True when the path admits zero-length matches (pairs every node).
+
+    Zero-length admission propagates through inverse, closure and
+    repetition operators (``p{0,}`` directly; ``p+`` / ``p{n,}`` when the
+    inner path itself admits zero length), through either side of an
+    alternative, and through a sequence only when both halves admit it.
+    Shared by the planner's cost model, the term-level ALP evaluator and
+    the id-native path engine so all three agree on zero-length cases.
+    """
+    if isinstance(path, (ZeroOrMorePath, ZeroOrOnePath)):
+        return True
+    if isinstance(path, (InversePath, OneOrMorePath)):
+        return matches_zero_length(path.path)
+    if isinstance(path, RepeatPath):
+        return path.minimum == 0 or matches_zero_length(path.path)
+    if isinstance(path, AlternativePath):
+        return matches_zero_length(path.left) or matches_zero_length(path.right)
+    if isinstance(path, SequencePath):
+        return matches_zero_length(path.left) and matches_zero_length(path.right)
+    return False
+
+
+def reverse_path(path: PropertyPath) -> PropertyPath:
+    """Return a path matching exactly the reversed (end, start) pairs.
+
+    Used by the id-native engine to expand a closure *backwards* from a
+    selective object endpoint: the reversal is pushed down to the leaves
+    (``^p`` at each link, sequence operands swapped) so backward
+    expansion probes the POS index directly instead of wrapping the whole
+    path in an :class:`InversePath` interpreter shim.
+    """
+    if isinstance(path, LinkPath):
+        return InversePath(path)
+    if isinstance(path, InversePath):
+        return path.path
+    if isinstance(path, SequencePath):
+        return SequencePath(reverse_path(path.right), reverse_path(path.left))
+    if isinstance(path, AlternativePath):
+        return AlternativePath(reverse_path(path.left), reverse_path(path.right))
+    if isinstance(path, ZeroOrOnePath):
+        return ZeroOrOnePath(reverse_path(path.path))
+    if isinstance(path, OneOrMorePath):
+        return OneOrMorePath(reverse_path(path.path))
+    if isinstance(path, ZeroOrMorePath):
+        return ZeroOrMorePath(reverse_path(path.path))
+    if isinstance(path, RepeatPath):
+        return RepeatPath(reverse_path(path.path), path.minimum, path.maximum)
+    if isinstance(path, NegatedPropertySet):
+        return NegatedPropertySet(forward=path.inverse, inverse=path.forward)
+    raise TypeError(f"cannot reverse {path!r}")
+
+
 def normalize_path(path: PropertyPath) -> PropertyPath:
     """Recursively expand every :class:`RepeatPath` in a path expression."""
     if isinstance(path, RepeatPath):

@@ -40,12 +40,14 @@ from repro.sparql.paths import (
     AlternativePath,
     InversePath,
     LinkPath,
+    NegatedPropertySet,
     OneOrMorePath,
     PropertyPath,
     RepeatPath,
     SequencePath,
     ZeroOrMorePath,
     ZeroOrOnePath,
+    matches_zero_length as _matches_zero_length,
 )
 from repro.sparql.solutions import Binding, EMPTY_BINDING
 
@@ -151,28 +153,17 @@ def _path_base_cardinality(graph: Graph, path: PropertyPath) -> float:
         return _path_base_cardinality(graph, path.path) * _CLOSURE_COST_FACTOR
     if isinstance(path, RepeatPath):
         return _path_base_cardinality(graph, path.path) * _CLOSURE_COST_FACTOR
+    if isinstance(path, NegatedPropertySet):
+        # A negated set scans every triple except the forbidden predicates
+        # (twice when both forward and inverse members are present).
+        scans = (1 if path.forward or not path.inverse else 0) + (
+            1 if path.inverse else 0
+        )
+        forbidden = sum(
+            graph.predicate_cardinality(iri) for iri in path.forward + path.inverse
+        )
+        return max(0.0, float(len(graph) * scans - forbidden))
     return float(len(graph))
-
-
-def _matches_zero_length(path: PropertyPath) -> bool:
-    """True when the path admits zero-length matches (pairs every node).
-
-    Zero-length admission propagates through inverse, closure and
-    repetition operators (``p{0,}`` directly; ``p+`` / ``p{n,}`` when the
-    inner path itself admits zero length), through either side of an
-    alternative, and through a sequence only when both halves admit it.
-    """
-    if isinstance(path, (ZeroOrMorePath, ZeroOrOnePath)):
-        return True
-    if isinstance(path, (InversePath, OneOrMorePath)):
-        return _matches_zero_length(path.path)
-    if isinstance(path, RepeatPath):
-        return path.minimum == 0 or _matches_zero_length(path.path)
-    if isinstance(path, AlternativePath):
-        return _matches_zero_length(path.left) or _matches_zero_length(path.right)
-    if isinstance(path, SequencePath):
-        return _matches_zero_length(path.left) and _matches_zero_length(path.right)
-    return False
 
 
 def estimate_path_pattern(
@@ -188,6 +179,13 @@ def estimate_path_pattern(
         return 0.0
     subject_bound = not isinstance(node.subject, Variable) or node.subject in bound
     object_bound = not isinstance(node.object, Variable) or node.object in bound
+    if node.path.is_recursive() and not subject_bound and not object_bound:
+        # A recursive path with two free endpoints expands from *every*
+        # node (ALP / id-engine alike): price the per-start expansion so
+        # the planner binds an endpoint first whenever any other pattern
+        # can provide one.  Square root keeps the penalty comparable to
+        # the join-selectivity divisions rather than dwarfing them.
+        estimate *= max(1.0, float(graph.distinct_subjects())) ** 0.5
     if subject_bound:
         estimate /= max(1, graph.distinct_subjects())
     if object_bound:

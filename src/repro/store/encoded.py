@@ -35,6 +35,9 @@ Entry = Union[int, Set[int]]
 #: A two-level id index: first component -> second component -> Entry.
 IdIndex = Dict[int, Dict[int, Entry]]
 
+#: Shared empty inner level for miss-free two-level probes.
+_EMPTY: Dict[int, Entry] = {}
+
 
 # ----------------------------------------------------------------------
 # hybrid entry helpers
@@ -547,6 +550,55 @@ class EncodedGraph:
         if oid is not None:
             return self._object_counts.get(oid, 0)
         return self._len
+
+    # ------------------------------------------------------------------
+    # id-level navigation (used by the id-native path engine)
+    # ------------------------------------------------------------------
+    def node_ids(self) -> Set[int]:
+        """Ids of every term in subject or object position (graph nodes)."""
+        return set(self._spo) | set(self._osp)
+
+    def predicate_ids(self) -> Iterator[int]:
+        """Ids of every predicate with at least one triple."""
+        return iter(self._pos)
+
+    def objects_for_ids(self, sid: int, pid: int) -> Iterator[int]:
+        """Yield object ids of triples ``(sid, pid, ?)`` — forward step."""
+        entry = self._spo.get(sid, _EMPTY).get(pid)
+        if entry is not None:
+            return _entry_iter(entry)
+        return iter(())
+
+    def subjects_for_ids(self, pid: int, oid: int) -> Iterator[int]:
+        """Yield subject ids of triples ``(?, pid, oid)`` — backward step."""
+        entry = self._pos.get(pid, _EMPTY).get(oid)
+        if entry is not None:
+            return _entry_iter(entry)
+        return iter(())
+
+    def out_edges_ids(self, sid: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(pid, oid)`` for every triple with subject ``sid``."""
+        by_predicate = self._spo.get(sid)
+        if by_predicate is not None:
+            for pid, entry in by_predicate.items():
+                for oid in _entry_iter(entry):
+                    yield pid, oid
+
+    def in_edges_ids(self, oid: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(pid, sid)`` for every triple with object ``oid``."""
+        by_subject = self._osp.get(oid)
+        if by_subject is not None:
+            for sid, entry in by_subject.items():
+                for pid in _entry_iter(entry):
+                    yield pid, sid
+
+    def distinct_subjects_ids(self, pid: int) -> int:
+        """Distinct subject count of a predicate id (O(1), no decode)."""
+        return len(self._pred_subject_counts.get(pid, ()))
+
+    def distinct_objects_ids(self, pid: int) -> int:
+        """Distinct object count of a predicate id (O(1), no decode)."""
+        return len(self._pos.get(pid, ()))
 
     # ------------------------------------------------------------------
     # id-level access (used by the bulk loader and snapshots)

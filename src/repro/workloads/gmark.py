@@ -194,12 +194,15 @@ def generate_gmark_queries(
     graph: Graph,
     seed: int = 11,
     count: Optional[int] = None,
+    recursive_only: bool = False,
 ) -> List[BenchmarkQuery]:
     """Generate the path-query workload for a scenario.
 
     Roughly half of the queries contain a recursive path operator, and a
     third of those leave both endpoints unbound (the case Virtuoso rejects
-    and Fuseki struggles with).
+    and Fuseki struggles with).  ``recursive_only=True`` makes every query
+    recursive — the slice the path-perf CI gate and the paper's Figures
+    8/9 stress.
     """
     rng = random.Random(seed)
     count = count if count is not None else scenario.query_count
@@ -207,7 +210,7 @@ def generate_gmark_queries(
     node_pool = sorted(graph.nodes(), key=lambda term: getattr(term, "value", str(term)))
     queries: List[BenchmarkQuery] = []
     for index in range(count):
-        recursive = rng.random() < 0.55
+        recursive = recursive_only or rng.random() < 0.55
         expression = _random_path_expression(rng, scenario.predicates(), recursive)
         endpoint_choice = rng.random()
         features: List[str] = ["PropertyPath"]
@@ -240,13 +243,18 @@ class GMarkWorkload:
         seed: int = 7,
         query_count: Optional[int] = None,
         backend: Optional[str] = None,
+        recursive_only: bool = False,
     ) -> None:
         self.scenario = (scenario or social_scenario()).scaled(scale)
         self.seed = seed
         self.name = f"gMark-{self.scenario.name}"
         self._graph = generate_gmark_graph(self.scenario, seed=seed, backend=backend)
         self._queries = generate_gmark_queries(
-            self.scenario, self._graph, seed=seed + 13, count=query_count
+            self.scenario,
+            self._graph,
+            seed=seed + 13,
+            count=query_count,
+            recursive_only=recursive_only,
         )
 
     @property

@@ -256,8 +256,11 @@ class TestIdNativeEvaluation:
         plan = plan_bgp(
             graph, [PathPattern(Variable("a"), LinkPath(EX.p), Variable("b"))]
         )
+        # The id engine needs no term-level path evaluator at all ...
+        assert len(list(execute_plan_ids(plan, graph))) == 2
+        # ... but the term-level bridge still requires one.
         with pytest.raises(TypeError):
-            list(execute_plan_ids(plan, graph))
+            list(execute_plan_ids(plan, graph, use_id_paths=False))
 
     def test_initial_binding_with_foreign_term_yields_nothing(self):
         graph = EncodedGraph(self._triples())

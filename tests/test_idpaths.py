@@ -1,0 +1,456 @@
+"""Tests for the id-native property-path engine (:mod:`repro.sparql.idpaths`).
+
+Three layers of assurance that the id engine is a pure optimisation over
+the term-level ALP procedure:
+
+* targeted unit tests for the moving parts — direction selection,
+  bidirectional meet-in-the-middle, path reversal, the zero-length rules
+  for bound endpoints outside the graph, duplicate preservation for the
+  non-closure operators,
+* a hypothesis differential property: random path expressions over
+  random graphs, with random bound/free endpoints, return the identical
+  multiset through the id engine and the term-level fallback, on both
+  backends and through both join pipelines,
+* gMark workload parity: every query of a recursive-only gMark workload
+  agrees between ``use_id_paths=True`` and the ALP baseline.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.terms import Triple, Variable
+from repro.sparql.algebra import BGP, PathPattern, ProjectionItem, SelectQuery, TriplePatternNode
+from repro.sparql.evaluator import SparqlEvaluator
+from repro.sparql.idpaths import IdPathEngine, supports_id_paths
+from repro.sparql.parser import parse_query
+from repro.sparql.paths import (
+    AlternativePath,
+    InversePath,
+    LinkPath,
+    NegatedPropertySet,
+    OneOrMorePath,
+    RepeatPath,
+    SequencePath,
+    ZeroOrMorePath,
+    ZeroOrOnePath,
+    normalize_path,
+    reverse_path,
+)
+from repro.store import EncodedGraph
+
+from tests.helpers import EX
+
+PREFIX = "PREFIX ex: <http://ex.org/>\n"
+
+X, Y = Variable("x"), Variable("y")
+
+
+def _select(pattern_nodes):
+    variables = sorted(
+        {v for node in pattern_nodes for v in node.variables()},
+        key=lambda v: v.name,
+    )
+    return SelectQuery(
+        projection=tuple(ProjectionItem(variable) for variable in variables),
+        pattern=BGP(tuple(pattern_nodes)),
+    )
+
+
+def _evaluators(triples):
+    """Every (backend, pipeline, path engine) combination under test."""
+    evaluators = []
+    for backend in (Graph, EncodedGraph):
+        dataset = Dataset.from_graph(backend(triples))
+        evaluators.append(SparqlEvaluator(dataset))
+        evaluators.append(SparqlEvaluator(dataset, use_id_paths=False))
+        evaluators.append(
+            SparqlEvaluator(
+                dataset, use_id_execution=False, use_filter_pushdown=False
+            )
+        )
+        evaluators.append(
+            SparqlEvaluator(
+                dataset,
+                use_id_execution=False,
+                use_filter_pushdown=False,
+                use_id_paths=False,
+                use_planner=False,
+            )
+        )
+    return evaluators
+
+
+def _assert_configurations_agree(pattern_nodes, triples):
+    query = _select(pattern_nodes)
+    results = [
+        Counter(evaluator.evaluate(query).rows())
+        for evaluator in _evaluators(triples)
+    ]
+    for other in results[1:]:
+        assert other == results[0]
+    return results[0]
+
+
+# ----------------------------------------------------------------------
+# unit tests: engine surface
+# ----------------------------------------------------------------------
+class TestEngineSurface:
+    def _graph(self):
+        return EncodedGraph(
+            [
+                Triple(EX.a, EX.p, EX.b),
+                Triple(EX.b, EX.p, EX.c),
+                Triple(EX.c, EX.q, EX.d),
+            ]
+        )
+
+    def test_supports_id_paths_detection(self):
+        assert supports_id_paths(self._graph())
+        assert not supports_id_paths(Graph())
+
+    def test_forward_closure_from_bound_subject(self):
+        graph = self._graph()
+        engine = IdPathEngine(graph)
+        a = graph.dictionary.id_for(EX.a)
+        pairs = set(engine.pair_ids(OneOrMorePath(LinkPath(EX.p)), a, None))
+        decode = graph.dictionary.term
+        assert {decode(end) for _, end in pairs} == {EX.b, EX.c}
+
+    def test_backward_closure_from_bound_object(self):
+        graph = self._graph()
+        engine = IdPathEngine(graph)
+        c = graph.dictionary.id_for(EX.c)
+        pairs = set(engine.pair_ids(OneOrMorePath(LinkPath(EX.p)), None, c))
+        decode = graph.dictionary.term
+        assert {decode(start) for start, _ in pairs} == {EX.a, EX.b}
+
+    def test_bidirectional_reachability_both_bound(self):
+        graph = EncodedGraph()
+        for i in range(50):
+            graph.add(Triple(EX[f"n{i}"], EX.next, EX[f"n{i + 1}"]))
+        engine = IdPathEngine(graph)
+        first = graph.dictionary.id_for(EX.n0)
+        last = graph.dictionary.id_for(EX.n50)
+        path = OneOrMorePath(LinkPath(EX.next))
+        assert list(engine.pair_ids(path, first, last)) == [(first, last)]
+        assert list(engine.pair_ids(path, last, first)) == []
+
+    def test_cycle_reachability_same_endpoint(self):
+        graph = EncodedGraph(
+            [
+                Triple(EX.a, EX.p, EX.b),
+                Triple(EX.b, EX.p, EX.a),
+                Triple(EX.c, EX.p, EX.d),
+            ]
+        )
+        engine = IdPathEngine(graph)
+        a = graph.dictionary.id_for(EX.a)
+        c = graph.dictionary.id_for(EX.c)
+        path = OneOrMorePath(LinkPath(EX.p))
+        assert list(engine.pair_ids(path, a, a)) == [(a, a)]
+        assert list(engine.pair_ids(path, c, c)) == []
+
+    def test_bound_endpoint_outside_graph_zero_length(self):
+        graph = self._graph()
+        engine = IdPathEngine(graph)
+        ghost = graph.dictionary.encode(EX.ghost)
+        star = ZeroOrMorePath(LinkPath(EX.p))
+        assert list(engine.pair_ids(star, ghost, None)) == [(ghost, ghost)]
+        plus = OneOrMorePath(LinkPath(EX.p))
+        assert list(engine.pair_ids(plus, ghost, None)) == []
+
+    def test_relation_stats_reflects_direction_asymmetry(self):
+        graph = EncodedGraph()
+        hub = EX.hub
+        for i in range(20):
+            graph.add(Triple(EX[f"s{i}"], EX.into, hub))
+        engine = IdPathEngine(graph)
+        edges, sources, targets = engine.relation_stats(LinkPath(EX.into))
+        assert edges == 20.0 and sources == 20.0 and targets == 1.0
+        edges, sources, targets = engine.relation_stats(
+            InversePath(LinkPath(EX.into))
+        )
+        assert sources == 1.0 and targets == 20.0
+
+    def test_unknown_constant_endpoint_does_not_grow_dictionary(self):
+        # Non-zero-admitting paths bail on unknown constants like the
+        # triple pipeline does; only zero-length-admitting paths may
+        # intern the constant (they need an id for the syntactic match).
+        graph = self._graph()
+        engine = IdPathEngine(graph)
+        before = len(graph.dictionary)
+        node = PathPattern(EX.total_stranger, OneOrMorePath(LinkPath(EX.p)), Y)
+        assert engine.evaluate(node) == []
+        assert len(graph.dictionary) == before
+        node = PathPattern(EX.total_stranger, ZeroOrMorePath(LinkPath(EX.p)), Y)
+        assert len(engine.evaluate(node)) == 1
+        assert len(graph.dictionary) == before + 1
+
+    def test_unknown_predicate_is_empty_but_zero_length_survives(self):
+        graph = self._graph()
+        engine = IdPathEngine(graph)
+        a = graph.dictionary.id_for(EX.a)
+        assert list(engine.pair_ids(LinkPath(EX.never_seen), a, None)) == []
+        pairs = list(engine.pair_ids(ZeroOrMorePath(LinkPath(EX.never_seen)), a, None))
+        assert pairs == [(a, a)]
+
+
+class TestReversePath:
+    def test_reverse_inverts_pairs(self):
+        graph = EncodedGraph(
+            [
+                Triple(EX.a, EX.p, EX.b),
+                Triple(EX.b, EX.q, EX.c),
+                Triple(EX.c, EX.p, EX.c),
+            ]
+        )
+        engine = IdPathEngine(graph)
+        paths = [
+            LinkPath(EX.p),
+            InversePath(LinkPath(EX.q)),
+            SequencePath(LinkPath(EX.p), LinkPath(EX.q)),
+            AlternativePath(LinkPath(EX.p), InversePath(LinkPath(EX.q))),
+            OneOrMorePath(AlternativePath(LinkPath(EX.p), LinkPath(EX.q))),
+            ZeroOrMorePath(LinkPath(EX.p)),
+            ZeroOrOnePath(SequencePath(LinkPath(EX.p), LinkPath(EX.p))),
+            NegatedPropertySet((EX.p,), (EX.q,)),
+            RepeatPath(LinkPath(EX.p), 1, 2),
+        ]
+        for path in paths:
+            forward = Counter(engine.pair_ids(normalize_path(path), None, None))
+            backward = Counter(
+                (start, end)
+                for end, start in engine.pair_ids(
+                    normalize_path(reverse_path(path)), None, None
+                )
+            )
+            assert forward == backward, repr(path)
+
+
+# ----------------------------------------------------------------------
+# duplicate semantics
+# ----------------------------------------------------------------------
+class TestDuplicateSemantics:
+    def _diamond(self):
+        # Two length-2 routes a -> c: duplicates must survive sequences.
+        return [
+            Triple(EX.a, EX.p, EX.b1),
+            Triple(EX.a, EX.p, EX.b2),
+            Triple(EX.b1, EX.q, EX.c),
+            Triple(EX.b2, EX.q, EX.c),
+        ]
+
+    def test_sequence_preserves_duplicates(self):
+        rows = _assert_configurations_agree(
+            [PathPattern(X, SequencePath(LinkPath(EX.p), LinkPath(EX.q)), Y)],
+            self._diamond(),
+        )
+        assert rows[(EX.a, EX.c)] == 2
+
+    def test_alternative_preserves_duplicates(self):
+        triples = [Triple(EX.a, EX.p, EX.b)]
+        rows = _assert_configurations_agree(
+            [PathPattern(X, AlternativePath(LinkPath(EX.p), LinkPath(EX.p)), Y)],
+            triples,
+        )
+        assert rows[(EX.a, EX.b)] == 2
+
+    def test_zero_or_one_deduplicates(self):
+        # ? has set semantics: the two p/q routes collapse to one row.
+        rows = _assert_configurations_agree(
+            [
+                PathPattern(
+                    X,
+                    ZeroOrOnePath(SequencePath(LinkPath(EX.p), LinkPath(EX.q))),
+                    Y,
+                )
+            ],
+            self._diamond(),
+        )
+        assert rows[(EX.a, EX.c)] == 1
+
+    def test_closure_is_set_semantics(self):
+        rows = _assert_configurations_agree(
+            [
+                PathPattern(
+                    EX.a,
+                    OneOrMorePath(AlternativePath(LinkPath(EX.p), LinkPath(EX.q))),
+                    Y,
+                )
+            ],
+            self._diamond(),
+        )
+        assert all(count == 1 for count in rows.values())
+
+    def test_inverse_sequence_duplicates(self):
+        rows = _assert_configurations_agree(
+            [
+                PathPattern(
+                    X,
+                    InversePath(SequencePath(LinkPath(EX.p), LinkPath(EX.q))),
+                    Y,
+                )
+            ],
+            self._diamond(),
+        )
+        assert rows[(EX.c, EX.a)] == 2
+
+
+# ----------------------------------------------------------------------
+# id-native plan steps
+# ----------------------------------------------------------------------
+class TestIdNativePlanIntegration:
+    def _triples(self):
+        return [
+            Triple(EX.s1, EX.start, EX.go),
+            Triple(EX.s1, EX.p, EX.m1),
+            Triple(EX.m1, EX.p, EX.m2),
+            Triple(EX.s2, EX.p, EX.m2),
+            Triple(EX.m2, EX.q, EX.s2),
+        ]
+
+    def test_path_step_after_binding_triple(self):
+        _assert_configurations_agree(
+            [
+                TriplePatternNode(Triple(X, EX.start, EX.go)),
+                PathPattern(X, OneOrMorePath(LinkPath(EX.p)), Y),
+            ],
+            self._triples(),
+        )
+
+    def test_path_step_with_shared_variable_both_ends(self):
+        _assert_configurations_agree(
+            [
+                PathPattern(
+                    X,
+                    OneOrMorePath(
+                        AlternativePath(LinkPath(EX.p), LinkPath(EX.q))
+                    ),
+                    X,
+                )
+            ],
+            self._triples(),
+        )
+
+    def test_filter_pushdown_after_path_step(self):
+        query = parse_query(
+            PREFIX
+            + "SELECT ?x ?y WHERE { ?x ex:p+ ?y . FILTER(?y = ex:m2) }"
+        )
+        results = []
+        for evaluator in _evaluators(self._triples()):
+            results.append(Counter(evaluator.evaluate(query).rows()))
+        for other in results[1:]:
+            assert other == results[0]
+        assert results[0]
+        assert all(row[1] == EX.m2 for row in results[0])
+
+    def test_substituted_non_node_endpoint_blocks_zero_length(self):
+        # ?x is bound by VALUES to a term outside the graph: a * path
+        # must not zero-length-match it (variables range over nodes).
+        query = parse_query(
+            PREFIX
+            + "SELECT ?x ?y WHERE { VALUES ?x { ex:ghost } ?x ex:p* ?y }"
+        )
+        for evaluator in _evaluators(self._triples()):
+            result = evaluator.evaluate(query)
+            assert list(result.rows()) == [], type(evaluator.dataset.default_graph)
+
+
+# ----------------------------------------------------------------------
+# hypothesis differential
+# ----------------------------------------------------------------------
+_NODES = [EX[f"n{i}"] for i in range(5)]
+_PREDICATES = [EX.p, EX.q, EX.r]
+
+_links = st.sampled_from([LinkPath(iri) for iri in _PREDICATES])
+_negated = st.sampled_from(
+    [
+        NegatedPropertySet((EX.p,)),
+        NegatedPropertySet((EX.p,), (EX.q,)),
+        NegatedPropertySet((), (EX.r,)),
+    ]
+)
+_path_expressions = st.recursive(
+    st.one_of(_links, _negated),
+    lambda children: st.one_of(
+        st.builds(InversePath, children),
+        st.builds(SequencePath, children, children),
+        st.builds(AlternativePath, children, children),
+        st.builds(ZeroOrOnePath, children),
+        st.builds(OneOrMorePath, children),
+        st.builds(ZeroOrMorePath, children),
+        st.builds(lambda inner: RepeatPath(inner, 1, 2), children),
+    ),
+    max_leaves=4,
+)
+
+_edges = st.lists(
+    st.tuples(
+        st.sampled_from(_NODES),
+        st.sampled_from(_PREDICATES),
+        st.sampled_from(_NODES),
+    ),
+    min_size=0,
+    max_size=14,
+)
+
+_subjects = st.sampled_from([X, EX.n0, EX.n1, EX.ghost])
+_objects = st.sampled_from([Y, X, EX.n0, EX.n2, EX.ghost])
+
+
+@settings(max_examples=80, deadline=None)
+@given(edges=_edges, path=_path_expressions, subject=_subjects, obj=_objects)
+def test_differential_random_paths(edges, path, subject, obj):
+    """Random path, random graph, random endpoints: all pipelines agree."""
+    triples = [Triple(*edge) for edge in edges]
+    _assert_configurations_agree([PathPattern(subject, path, obj)], triples)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edges=_edges, path=_path_expressions)
+def test_differential_engine_vs_term_alp(edges, path):
+    """Engine pair semantics == term ALP, compared at the binding level."""
+    graph = EncodedGraph(Triple(*edge) for edge in edges)
+    dataset = Dataset.from_graph(graph)
+    idnative = SparqlEvaluator(dataset)
+    termlevel = SparqlEvaluator(dataset, use_id_paths=False)
+    node = PathPattern(X, path, Y)
+    expected = Counter(
+        tuple(sorted(binding.items()))
+        for binding in termlevel._eval_path_pattern(node, graph)
+    )
+    actual = Counter(
+        tuple(sorted(binding.items()))
+        for binding in idnative._eval_path_pattern(node, graph)
+    )
+    assert actual == expected
+
+
+# ----------------------------------------------------------------------
+# gMark workload parity
+# ----------------------------------------------------------------------
+def test_gmark_recursive_workload_parity():
+    from repro.workloads.gmark import GMarkWorkload, test_scenario
+
+    workload = GMarkWorkload(
+        scenario=test_scenario(),
+        scale=0.15,
+        backend="encoded",
+        recursive_only=True,
+        query_count=12,
+    )
+    dataset = workload.dataset()
+    idnative = SparqlEvaluator(dataset)
+    termlevel = SparqlEvaluator(dataset, use_id_paths=False)
+    compared = 0
+    for query in workload.queries():
+        parsed = parse_query(query.text)
+        expected = termlevel.evaluate(parsed)
+        actual = idnative.evaluate(parsed)
+        assert Counter(actual.rows()) == Counter(expected.rows()), query.query_id
+        compared += 1
+    assert compared == 12

@@ -181,3 +181,122 @@ class TestRepeatExpansion:
         assert RepeatPath(LinkPath(EX.p), 1, None).is_recursive()
         assert not RepeatPath(LinkPath(EX.p), 1, 3).is_recursive()
         assert not LinkPath(EX.p).is_recursive()
+
+
+class TestSequenceClosureRegressions:
+    """Regressions for the ``None`` endpoint-hint bug and its relatives.
+
+    Sequences hand their halves ``None`` for the shared middle position;
+    ``_closure_pairs`` used to misread that as a *bound* endpoint and
+    expand from the non-term ``None``, so any sequence containing a
+    closure with free outer endpoints silently returned nothing.
+    """
+
+    def _chain_dataset(self):
+        graph = Graph(
+            [
+                Triple(EX.a, EX.p, EX.b),
+                Triple(EX.b, EX.q, EX.c),
+                Triple(EX.c, EX.q, EX.d),
+                Triple(EX.x, EX.q, EX.y),
+            ]
+        )
+        return Dataset.from_graph(graph)
+
+    def test_closure_on_right_of_sequence_with_free_endpoints(self):
+        result = run(
+            self._chain_dataset(), "SELECT ?x ?y WHERE { ?x ex:p/ex:q+ ?y }"
+        )
+        assert result.to_set() == {(EX.a, EX.c), (EX.a, EX.d)}
+
+    def test_closure_on_left_of_sequence_with_free_endpoints(self):
+        result = run(
+            self._chain_dataset(), "SELECT ?x ?y WHERE { ?x ex:q*/ex:p ?y }"
+        )
+        assert result.to_set() == {(EX.a, EX.b)}
+
+    def test_sequence_of_optionals_matches_bound_non_node(self):
+        # A bound endpoint outside the graph still zero-length-matches
+        # through a sequence whose halves both admit zero length.
+        result = run(
+            self._chain_dataset(),
+            "SELECT ?y WHERE { ex:atlantis ex:p?/ex:q? ?y }",
+        )
+        assert (EX.atlantis,) in result.to_set()
+        result = run(
+            self._chain_dataset(),
+            "SELECT ?x WHERE { ?x ex:p?/ex:q? ex:atlantis }",
+        )
+        assert (EX.atlantis,) in result.to_set()
+
+    def test_bound_non_node_both_endpoints_yields_single_solution(self):
+        # Regression: the zero-length graft used to re-append the
+        # (subject, subject) self-pair the left half already contained,
+        # doubling the solution when both endpoints were the same bound
+        # term outside the graph.
+        result = run(
+            self._chain_dataset(),
+            "SELECT ?z WHERE { ex:atlantis ex:p?/ex:q? ex:atlantis . BIND(1 AS ?z) }",
+        )
+        assert list(result.rows()) == [(Literal("1", IRI("http://www.w3.org/2001/XMLSchema#integer")),)]
+
+    def test_datalog_translation_agreement_on_sequence_closure(self):
+        from collections import Counter
+
+        from repro.core.engine import SparqLogEngine
+
+        dataset = self._chain_dataset()
+        query = "SELECT ?x ?y WHERE { ?x ex:p/ex:q+ ?y }"
+        reference = run(dataset, query)
+        translated = SparqLogEngine(dataset).query(PREFIX + query)
+        assert Counter(reference.rows()) == Counter(translated.rows())
+
+
+class TestBoundEndpointShortCircuit:
+    """The both-endpoints-bound closure stops at the first target sighting."""
+
+    class _CountingGraph(Graph):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.probes = 0
+
+        def triples(self, subject=None, predicate=None, obj=None):
+            self.probes += 1
+            return super().triples(subject, predicate, obj)
+
+    def _long_chain(self, length=200):
+        graph = self._CountingGraph()
+        for i in range(length):
+            graph.add(Triple(EX[f"n{i}"], EX.next, EX[f"n{i + 1}"]))
+        return graph
+
+    def test_reachability_probe_stops_at_adjacent_target(self):
+        graph = self._long_chain()
+        evaluator = SparqlEvaluator(Dataset.from_graph(graph), use_id_paths=False)
+        graph.probes = 0
+        result = evaluator.evaluate(
+            parse_query(PREFIX + "ASK { ex:n0 ex:next+ ex:n1 }")
+        )
+        assert result is True
+        # Without the short-circuit the expansion walks the whole chain
+        # (~200 probes); with it, the target is adjacent, so only a
+        # handful of index probes happen.
+        assert graph.probes < 10
+
+    def test_unreachable_target_still_correct(self):
+        graph = self._long_chain()
+        evaluator = SparqlEvaluator(Dataset.from_graph(graph), use_id_paths=False)
+        assert (
+            evaluator.evaluate(
+                parse_query(PREFIX + "ASK { ex:n5 ex:next+ ex:n0 }")
+            )
+            is False
+        )
+
+    def test_short_circuit_preserves_bound_pair_results(self):
+        graph = self._long_chain(20)
+        evaluator = SparqlEvaluator(Dataset.from_graph(graph), use_id_paths=False)
+        result = evaluator.evaluate(
+            parse_query(PREFIX + "SELECT ?x WHERE { ex:n0 ex:next* ex:n20 . ?x ex:next ex:n1 }")
+        )
+        assert result.to_set() == {(EX.n0,)}
