@@ -33,6 +33,7 @@ from repro.datalog.stratify import stratify
 from repro.datalog.terms import Const, SkolemTerm, Term, Var
 from repro.rdf.terms import Literal, Term as RdfTerm
 from repro.sparql.functions import ExpressionError, term_compare
+from repro.sparql.physical import select_cheapest
 from repro.sparql.solutions import Binding
 
 
@@ -229,13 +230,16 @@ class DatalogEngine:
             progressed = False
             for element in list(pending):
                 if isinstance(element, Atom):
+                    # Atom choice goes through the shared greedy-ordering
+                    # helper of the physical layer — the same cost-first,
+                    # source-position-tie rule the BGP planner lowers with.
                     atoms = [e for e in pending if isinstance(e, Atom)]
-                    best = min(
+                    best = select_cheapest(
                         atoms,
-                        key=lambda atom: (
-                            self._estimate_atom(atom, bound, relations, volatile_set),
-                            pending.index(atom),
+                        lambda atom: self._estimate_atom(
+                            atom, bound, relations, volatile_set
                         ),
+                        pending.index,
                     )
                     ordered.append(best)
                     bound |= best.variables()

@@ -27,6 +27,15 @@ same cardinality model drives body-atom ordering in
 :class:`repro.datalog.engine.DatalogEngine`.  ``SparqlEvaluator(dataset,
 use_planner=False)`` recovers the naive textual-order evaluation, which
 the property-based tests use as the differential baseline.
+
+The ordered plan is then *lowered* to a physical operator DAG
+(:mod:`repro.sparql.physical`): the lowering pass picks term-space or
+id-space operators per backend capability, attaches FILTER conjuncts as
+``Filter`` operators, and selects the leapfrog-triejoin
+:class:`~repro.sparql.physical.LeapfrogJoin` operator — worst-case
+optimal over the encoded store's sorted id runs — when statistics detect
+a cyclic join graph.  ``SparqlEvaluator.explain()`` renders the lowered
+DAG, and executed plans expose per-operator row/probe counters.
 """
 
 from repro.sparql.algebra import (
@@ -58,6 +67,15 @@ from repro.sparql.paths import (
 )
 from repro.sparql.evaluator import SparqlEvaluator
 from repro.sparql.idpaths import IdPathEngine, supports_id_paths
+from repro.sparql.physical import (
+    IndexNestedLoopJoin,
+    LeapfrogJoin,
+    LoweringOptions,
+    PhysicalPlan,
+    lower_bgp,
+    lower_plan,
+    supports_leapfrog,
+)
 from repro.sparql.plan import BGPPlan, PlanStep, evaluate_bgp, plan_bgp
 from repro.sparql.solutions import Binding, SolutionSequence
 
@@ -70,14 +88,18 @@ __all__ = [
     "Filter",
     "GraphGraphPattern",
     "IdPathEngine",
+    "IndexNestedLoopJoin",
     "InversePath",
     "Join",
+    "LeapfrogJoin",
     "LeftJoin",
     "LinkPath",
+    "LoweringOptions",
     "Minus",
     "NegatedPropertySet",
     "OneOrMorePath",
     "PathPattern",
+    "PhysicalPlan",
     "PlanStep",
     "PropertyPath",
     "Query",
@@ -92,7 +114,10 @@ __all__ = [
     "ZeroOrMorePath",
     "ZeroOrOnePath",
     "evaluate_bgp",
+    "lower_bgp",
+    "lower_plan",
     "parse_query",
     "plan_bgp",
     "supports_id_paths",
+    "supports_leapfrog",
 ]

@@ -17,12 +17,16 @@ is what makes the native engine slow on the gMark workloads, matching the
 performance shape reported in the paper.
 
 Basic graph patterns are evaluated through the cost-based planner in
-:mod:`repro.sparql.plan`: triple and path patterns are greedily reordered
-by estimated cardinality and executed as a streaming index-nested-loop
-pipeline, so ASK and plain LIMIT queries short-circuit instead of
-materialising the full join.  Pass ``use_planner=False`` to recover the
-naive textual-order evaluation (used as the differential-testing baseline
-and by the planner benchmarks).
+:mod:`repro.sparql.plan` and the physical operator layer in
+:mod:`repro.sparql.physical`: triple and path patterns are greedily
+reordered by estimated cardinality, lowered to a physical operator DAG
+(term- or id-space per backend capability, with a leapfrog-triejoin
+operator for cyclic BGPs) and executed as a streaming pipeline, so ASK
+and plain LIMIT queries short-circuit instead of materialising the full
+join.  Pass ``use_planner=False`` to recover the naive textual-order
+evaluation (used as the differential-testing baseline and by the planner
+benchmarks); the remaining knobs map onto
+:class:`repro.sparql.physical.LoweringOptions`.
 """
 
 from __future__ import annotations
@@ -63,12 +67,10 @@ from repro.sparql.expressions import (
     satisfies,
 )
 from repro.sparql.functions import ExpressionError
-from repro.sparql.idexec import execute_plan_ids, supports_id_execution
+from repro.sparql import physical
 from repro.sparql.idpaths import IdPathEngine, supports_id_paths
 from repro.sparql.plan import (
     BGPPlan,
-    attach_filters,
-    execute_plan,
     match_triple,
     plan_bgp,
 )
@@ -105,6 +107,7 @@ class SparqlEvaluator:
         use_id_execution: bool = True,
         use_filter_pushdown: bool = True,
         use_id_paths: bool = True,
+        use_wcoj: bool = True,
     ) -> None:
         self.dataset = dataset
         self.use_planner = use_planner
@@ -121,6 +124,13 @@ class SparqlEvaluator:
         # navigation surface; off recovers the term-level ALP procedure
         # on every backend (the differential baseline).
         self.use_id_paths = use_id_paths
+        # Allow the lowering pass to pick the leapfrog-triejoin operator
+        # for cyclic all-triple BGPs over a sorted-id-capable graph; off
+        # pins every planned BGP to the binary index-nested-loop join.
+        self.use_wcoj = use_wcoj
+        # The most recent physical plan produced by lowering — inspection
+        # hook for tests, benchmarks and explain()-style tooling.
+        self.last_physical_plan: Optional[physical.PhysicalPlan] = None
         # Small LRU of IdPathEngine per graph so repeated path steps —
         # including ones alternating across GRAPH clauses — share each
         # graph's node-set cache instead of rebuilding it per pattern.
@@ -136,6 +146,12 @@ class SparqlEvaluator:
         # Values pair the plan with a weakref to the graph that produced
         # it, guarding against id() reuse after garbage collection.
         self._plan_cache: "OrderedDict[Tuple, Tuple[weakref.ref, BGPPlan]]" = (
+            OrderedDict()
+        )
+        # Lowered physical plans, keyed like the plan cache plus the
+        # FILTER conjuncts and the lowering options, so repeated queries
+        # skip operator construction and eligibility analysis too.
+        self._physical_cache: "OrderedDict[Tuple, Tuple[weakref.ref, physical.PhysicalPlan]]" = (
             OrderedDict()
         )
         self.plan_cache_hits = 0
@@ -280,7 +296,7 @@ class SparqlEvaluator:
         if isinstance(node, Minus):
             return self._eval_minus(node, active_graph, dataset)
         if isinstance(node, Filter):
-            pushed = self._try_filter_pushdown(node, active_graph)
+            pushed = self._try_filter_pushdown(node, active_graph, dataset)
             if pushed is not None:
                 return list(pushed)
             inner = self._eval_pattern(node.pattern, active_graph, dataset)
@@ -300,16 +316,33 @@ class SparqlEvaluator:
             for pattern in node.patterns
         )
 
-    def _try_filter_pushdown(
-        self, node: Filter, active_graph: Graph
-    ) -> Optional[Iterator[Binding]]:
-        """Stream a FILTER-over-BGP with conditions pushed between joins.
+    @staticmethod
+    def _as_bgp(node: GraphPatternNode) -> GraphPatternNode:
+        """Promote a lone triple/path pattern to a singleton BGP.
 
-        Peels nested FILTER wrappers down to the pattern they scope over;
-        when that is a plannable BGP, the conjuncts are attached to the
-        earliest plan step binding their variables and the whole stack
-        evaluates in one streaming pass.  Returns ``None`` when pushdown
-        does not apply (disabled, or the inner pattern is not a BGP).
+        The parser emits bare pattern nodes for one-pattern groups; the
+        pushdown helpers work on BGPs, so wrapping lets single-pattern
+        OPTIONAL and MINUS sides join the streaming pipeline too.
+        """
+        if isinstance(node, (TriplePatternNode, PathPattern)):
+            return BGP((node,))
+        return node
+
+    def _try_filter_pushdown(
+        self, node: Filter, active_graph: Graph, dataset: Dataset
+    ) -> Optional[Iterator[Binding]]:
+        """Stream a FILTER stack with conditions pushed into the pipeline.
+
+        Peels nested FILTER wrappers down to the pattern they scope over.
+        When that is a plannable BGP, the conjuncts are attached to the
+        earliest physical operator binding their variables and the whole
+        stack evaluates in one streaming pass.  When it is a MINUS whose
+        *left* side is (a FILTER stack over) a plannable BGP, the
+        conjuncts push into that left pipeline — sound because MINUS is a
+        per-row selection on the left multiset that leaves bindings
+        untouched, so ``FILTER(MINUS(L, R), c)`` ≡ ``MINUS(FILTER(L, c),
+        R)``.  Returns ``None`` when pushdown does not apply (disabled,
+        or no eligible shape).
         """
         if not self.use_filter_pushdown:
             return None
@@ -318,9 +351,121 @@ class SparqlEvaluator:
         while isinstance(current, Filter):
             conditions.extend(conjuncts(current.condition))
             current = current.pattern
-        if not isinstance(current, BGP) or not self._plannable_bgp(current):
-            return None
-        return self._eval_bgp_stream(current, active_graph, tuple(conditions))
+        if isinstance(current, BGP) and self._plannable_bgp(current):
+            return self._eval_bgp_stream(current, active_graph, tuple(conditions))
+        if isinstance(current, Minus):
+            left: GraphPatternNode = current.left
+            while isinstance(left, Filter):
+                conditions.extend(conjuncts(left.condition))
+                left = left.pattern
+            left = self._as_bgp(left)
+            if isinstance(left, BGP) and self._plannable_bgp(left):
+                return self._minus_stream(
+                    left, tuple(conditions), current.right, active_graph, dataset
+                )
+        return None
+
+    def _minus_stream(
+        self,
+        left_bgp: BGP,
+        conditions: Tuple[Expression, ...],
+        right_node: GraphPatternNode,
+        active_graph: Graph,
+        dataset: Dataset,
+    ) -> Iterator[Binding]:
+        """Stream MINUS over a filtered left BGP pipeline.
+
+        The right side is evaluated lazily, on the first surviving left
+        row, so an empty (or fully filtered) left side never pays for the
+        right pattern — mirroring the materialising evaluator's
+        short-circuit.
+        """
+        right: Optional[List[Binding]] = None
+        for left_binding in self._eval_bgp_stream(left_bgp, active_graph, conditions):
+            if right is None:
+                right = self._eval_pattern(right_node, active_graph, dataset)
+            excluded = False
+            for right_binding in right:
+                shared = left_binding.variables() & right_binding.variables()
+                if shared and left_binding.is_compatible(right_binding):
+                    excluded = True
+                    break
+            if not excluded:
+                yield left_binding
+
+    def _lowering_options(self) -> physical.LoweringOptions:
+        """Map the evaluator's compatibility knobs onto lowering options."""
+        return physical.LoweringOptions(
+            id_execution=self.use_id_execution,
+            filter_pushdown=self.use_filter_pushdown,
+            id_paths=self.use_id_paths,
+            wcoj=self.use_wcoj,
+        )
+
+    def _lower_bgp(
+        self,
+        node: BGP,
+        active_graph: Graph,
+        conditions: Tuple[Expression, ...] = (),
+    ) -> physical.PhysicalPlan:
+        """Plan + lower a BGP to a physical operator DAG, caching both.
+
+        Lowering (operator construction, WCOJ eligibility analysis) is
+        pure in the pattern tuple, the FILTER conjuncts, the lowering
+        options and the graph statistics, so lowered plans are cached
+        under the same version-stamp discipline as logical plans.  A hit
+        here counts as a plan-cache hit: it subsumes the logical lookup.
+        Cached plans keep their operator counters across reuses — the
+        documented ``OperatorStats`` accumulation semantics; callers who
+        want per-execution numbers call ``reset_stats()`` themselves.
+        """
+        version = getattr(active_graph, "version", None)
+        key = None
+        if version is not None:
+            cache = self._physical_cache
+            knobs = (
+                self.use_id_execution,
+                self.use_filter_pushdown,
+                self.use_id_paths,
+                self.use_wcoj,
+            )
+            try:
+                key = (id(active_graph), version, node.patterns, conditions, knobs)
+                cached = cache.get(key)
+            except TypeError:  # unhashable pattern or condition component
+                key = None
+                cached = None
+            if cached is not None:
+                graph_ref, physical_plan = cached
+                # Same id()-reuse guard as the logical plan cache.  No
+                # move_to_end here: recency upkeep would re-hash the whole
+                # key on the hot path, so eviction is insertion-ordered —
+                # fine for a cache that exists to amortise repeat queries.
+                if graph_ref() is active_graph:
+                    self.plan_cache_hits += 1
+                    self.last_physical_plan = physical_plan
+                    return physical_plan
+        plan = self._bgp_plan(node, active_graph)
+        physical_plan = physical.lower_plan(
+            plan,
+            active_graph,
+            conditions=conditions,
+            options=self._lowering_options(),
+        )
+        if key is not None:
+            cache = self._physical_cache
+            dead = [
+                stale_key
+                for stale_key, (graph_ref, _) in cache.items()
+                if graph_ref() is None
+            ]
+            for stale_key in dead:
+                del cache[stale_key]
+            cache[key] = (weakref.ref(active_graph), physical_plan)
+            if len(cache) > self.PLAN_CACHE_SIZE:
+                cache.popitem(last=False)
+        self.last_physical_plan = physical_plan
+        return physical_plan
 
     def _eval_bgp_stream(
         self,
@@ -328,33 +473,53 @@ class SparqlEvaluator:
         active_graph: Graph,
         conditions: Tuple[Expression, ...] = (),
     ) -> Iterator[Binding]:
-        """Plan a BGP and stream its solutions (index-nested-loop pipeline).
+        """Plan, lower and stream a BGP through the physical executor.
 
-        ``conditions`` are FILTER conjuncts scoped over the BGP; they are
-        attached to the earliest plan step binding their variables so
-        non-qualifying rows die before later joins multiply them.  On an
-        id-capable graph (the encoded store) the pipeline joins over raw
-        term ids and decodes only at the result boundary.
+        ``conditions`` are FILTER conjuncts scoped over the BGP; the
+        lowering pass attaches each to the earliest operator binding its
+        variables so non-qualifying rows die before later joins multiply
+        them.  The choice of term-space vs id-space operators — and of
+        the leapfrog-triejoin operator for cyclic BGPs — is made by the
+        lowering pass per backend capability, shaped by the evaluator's
+        compatibility knobs.
         """
-        plan = self._bgp_plan(node, active_graph)
-        step_filters = attach_filters(plan, conditions) if conditions else None
-        if self.use_id_execution and supports_id_execution(active_graph):
-            return execute_plan_ids(
-                plan,
-                active_graph,
-                path_evaluator=self._eval_path_pattern,
-                step_filters=step_filters,
-                use_id_paths=self.use_id_paths,
-                path_engine=(
-                    self._id_path_engine(active_graph) if self.use_id_paths else None
-                ),
-            )
-        return execute_plan(
-            plan,
+        physical_plan = self._lower_bgp(node, active_graph, conditions)
+        engine = (
+            self._id_path_engine(active_graph)
+            if physical_plan.space == "id" and self.use_id_paths
+            else None
+        )
+        return physical.execute(
+            physical_plan,
             active_graph,
             path_evaluator=self._eval_path_pattern,
-            step_filters=step_filters,
+            path_engine=engine,
         )
+
+    def explain(self, query: Query) -> str:
+        """Render the physical operator plan for a query's pattern.
+
+        Supports queries whose pattern is a planned BGP, optionally
+        wrapped in FILTER nodes (the conjuncts show up as ``Filter``
+        operators or leapfrog level filters).  The lowered plan is also
+        left in :attr:`last_physical_plan` so callers can execute-then-
+        inspect per-operator counters.
+        """
+        conditions: List[Expression] = []
+        pattern: GraphPatternNode = query.pattern
+        while isinstance(pattern, Filter):
+            conditions.extend(conjuncts(pattern.condition))
+            pattern = pattern.pattern
+        if not isinstance(pattern, BGP) or not self._plannable_bgp(pattern):
+            raise EvaluationError(
+                "explain() supports planned BGPs (optionally FILTER-wrapped); "
+                f"got {type(pattern).__name__}"
+            )
+        dataset = self._active_dataset(query.dataset_clauses)
+        physical_plan = self._lower_bgp(
+            pattern, dataset.default_graph, tuple(conditions)
+        )
+        return physical_plan.explain()
 
     def _bgp_plan(self, node: BGP, active_graph: Graph) -> BGPPlan:
         """Return a (possibly cached) join plan for the BGP.
@@ -384,6 +549,17 @@ class SparqlEvaluator:
                 cache.move_to_end(key)
                 return plan
         self.plan_cache_misses += 1
+        # A miss is the cheap moment to drop entries whose graph has been
+        # collected: they can never hit again (the weakref is dead) yet
+        # would otherwise squat in the LRU until SIZE evictions push them
+        # out, crowding out plans for live graphs.
+        dead = [
+            stale_key
+            for stale_key, (graph_ref, _) in cache.items()
+            if graph_ref() is None
+        ]
+        for stale_key in dead:
+            del cache[stale_key]
         plan = plan_bgp(active_graph, node.patterns)
         cache[key] = (weakref.ref(active_graph), plan)
         if len(cache) > self.PLAN_CACHE_SIZE:
@@ -405,7 +581,7 @@ class SparqlEvaluator:
         if isinstance(node, BGP) and self._plannable_bgp(node):
             return self._eval_bgp_stream(node, active_graph)
         if isinstance(node, Filter):
-            pushed = self._try_filter_pushdown(node, active_graph)
+            pushed = self._try_filter_pushdown(node, active_graph, dataset)
             if pushed is not None:
                 return pushed
             inner = self._eval_pattern_stream(node.pattern, active_graph, dataset)
@@ -473,20 +649,67 @@ class SparqlEvaluator:
         left = self._eval_pattern(node.left, active_graph, dataset)
         if not left:
             return []
-        right = self._eval_pattern(node.right, active_graph, dataset)
+        right, residual = self._eval_optional_right(node, active_graph, dataset)
         results: List[Binding] = []
         for left_binding in left:
             extended: List[Binding] = []
             for right_binding in right:
                 if left_binding.is_compatible(right_binding):
                     merged = left_binding.merge(right_binding)
-                    if node.condition is None or satisfies(node.condition, merged):
+                    if all(satisfies(c, merged) for c in residual):
                         extended.append(merged)
             if extended:
                 results.extend(extended)
             else:
                 results.append(left_binding)
         return results
+
+    def _eval_optional_right(
+        self, node: LeftJoin, active_graph: Graph, dataset: Dataset
+    ) -> Tuple[List[Binding], Tuple[Expression, ...]]:
+        """Evaluate an OPTIONAL's right side, pushing eligible conjuncts.
+
+        A conjunct of the OPTIONAL condition whose variables are all
+        bound by the right-side BGP has the same verdict on the bare
+        right row as on any merged row: the BGP binds every one of its
+        variables, and merge compatibility forces shared values equal.
+        Such conjuncts are pushed into the right pipeline (composing
+        with FILTER wrappers already inside the OPTIONAL); the rest stay
+        as residual conditions applied per merged pair.  Per-conjunct
+        application is faithful to the conjunction: an errored conjunct
+        reads as unsatisfied either way.
+        """
+        condition_conjuncts: Tuple[Expression, ...] = (
+            tuple(conjuncts(node.condition)) if node.condition is not None else ()
+        )
+        if condition_conjuncts and self.use_filter_pushdown:
+            inner_conditions: List[Expression] = []
+            core: GraphPatternNode = node.right
+            while isinstance(core, Filter):
+                inner_conditions.extend(conjuncts(core.condition))
+                core = core.pattern
+            core = self._as_bgp(core)
+            if isinstance(core, BGP) and self._plannable_bgp(core):
+                core_variables = core.variables()
+                pushed: List[Expression] = []
+                kept: List[Expression] = []
+                for conjunct in condition_conjuncts:
+                    variables = conjunct.variables()
+                    if variables and variables <= core_variables:
+                        pushed.append(conjunct)
+                    else:
+                        kept.append(conjunct)
+                if pushed:
+                    rows = list(
+                        self._eval_bgp_stream(
+                            core,
+                            active_graph,
+                            tuple(inner_conditions) + tuple(pushed),
+                        )
+                    )
+                    return rows, tuple(kept)
+        right = self._eval_pattern(node.right, active_graph, dataset)
+        return right, condition_conjuncts
 
     def _eval_minus(
         self, node: Minus, active_graph: Graph, dataset: Dataset

@@ -42,7 +42,6 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.rdf.terms import Term, Variable
-from repro.sparql.algebra import PathPattern, TriplePatternNode
 from repro.sparql.expressions import (
     Comparison,
     Expression,
@@ -51,9 +50,8 @@ from repro.sparql.expressions import (
     VariableExpr,
     satisfies,
 )
-from repro.sparql.idpaths import _ABSENT, IdPathEngine, supports_id_paths
-from repro.sparql.paths import matches_zero_length, normalize_path
-from repro.sparql.plan import BGPPlan, PathEvaluator, StepFilters, _match_path
+from repro.sparql.idpaths import IdPathEngine
+from repro.sparql.plan import BGPPlan, PathEvaluator, StepFilters
 from repro.sparql.solutions import Binding, EMPTY_BINDING
 from repro.store.dictionary import TermDictionary
 
@@ -187,207 +185,30 @@ def execute_plan_ids(
 ) -> Iterator[Binding]:
     """Run a BGP plan over an id-capable graph, decoding only results.
 
-    The semantics match :func:`repro.sparql.plan.execute_plan` exactly
-    (the differential suite holds both to the same multisets); the work
-    per intermediate row is an int dict probe instead of Term hashing and
-    Binding construction.  Path steps run through the id-native
-    :class:`IdPathEngine` when the graph exposes the navigation surface
-    and ``use_id_paths`` is on; otherwise they bridge to the term-level
-    ``path_evaluator``.
+    Compatibility shim: the pipeline body moved to the physical operator
+    layer (:mod:`repro.sparql.physical`); this lowers the plan to an
+    id-space operator DAG (never the leapfrog operator — WCOJ selection
+    belongs to the evaluator's lowering, not this legacy entry point)
+    and executes it with the original signature and semantics.  Path
+    steps run through the id-native :class:`IdPathEngine` when the graph
+    exposes the navigation surface and ``use_id_paths`` is on (or a
+    pre-built ``path_engine`` is handed in); otherwise they bridge to
+    the term-level ``path_evaluator``.
     """
-    dictionary: TermDictionary = graph.dictionary
-    steps = plan.steps
-    env: IdEnv = {}
-    if len(initial):
-        # encode (not id_for): an initial term outside the graph gets a
-        # fresh id that simply never matches a probe — identical, by
-        # construction, to the term-space pipeline finding no triples.
-        encode = dictionary.encode
-        for variable, term in initial.items():
-            env[variable] = encode(term)
-    filters = _compile_step_filters(step_filters, dictionary)
-    if filters is not None and not all(
-        id_filter.test(env, dictionary) for id_filter in filters[0]
-    ):
-        return
-    if path_engine is not None:
-        # The evaluator hands in its cached engine so repeated queries
-        # against the same graph reuse the version-stamped node-set cache.
-        engine: Optional[IdPathEngine] = path_engine
-    elif use_id_paths and supports_id_paths(graph):
-        engine = IdPathEngine(graph)
-    else:
-        engine = None
+    from repro.sparql import physical
 
-    # Compile each step: triple patterns to (is_variable, value) component
-    # triples with constants pre-interned; a constant the dictionary has
-    # never seen cannot occur in any triple, so the BGP is empty.  Path
-    # steps destined for the id engine pre-normalize their path and
-    # pre-intern constant endpoints (a fresh id for an unseen constant is
-    # harmless: it only ever matches syntactically, via zero-length).
-    compiled: List[Tuple[str, object]] = []
-    for step in steps:
-        node = step.node
-        if isinstance(node, TriplePatternNode):
-            parts = []
-            for part in node.triple:
-                if isinstance(part, Variable):
-                    parts.append((True, part))
-                else:
-                    term_id = dictionary.id_for(part)
-                    if term_id is None:
-                        return
-                    parts.append((False, term_id))
-            compiled.append(("triple", tuple(parts)))
-        elif isinstance(node, PathPattern):
-            if engine is not None:
-                path = normalize_path(node.path)
-                subject_is_var = isinstance(node.subject, Variable)
-                object_is_var = isinstance(node.object, Variable)
-                # Constant endpoints resolve through the engine's shared
-                # unknown-constant rule: _ABSENT (a non-zero-admitting
-                # path with an unseen constant) empties the whole BGP.
-                subject_spec = (
-                    node.subject
-                    if subject_is_var
-                    else engine._endpoint_id(node.subject, path)
-                )
-                object_spec = (
-                    node.object
-                    if object_is_var
-                    else engine._endpoint_id(node.object, path)
-                )
-                if subject_spec is _ABSENT or object_spec is _ABSENT:
-                    return
-                spec = (
-                    path,
-                    subject_is_var,
-                    subject_spec,
-                    object_is_var,
-                    object_spec,
-                    matches_zero_length(path),
-                )
-                compiled.append(("idpath", spec))
-            elif path_evaluator is not None:
-                compiled.append(("path", node))
-            else:
-                raise TypeError("plan contains a path pattern but no path evaluator")
-        else:  # pragma: no cover - plan_bgp only admits the two kinds above
-            raise TypeError(f"unsupported plan node {type(node).__name__}")
-
-    # The environment's domain at the leaf is the same for every result
-    # row (every step binds its variables), so the decode order — and the
-    # Binding sort — is computed once.
-    result_variables = set(env)
-    for step in steps:
-        result_variables |= step.node.variables()
-    ordered = tuple(sorted(result_variables, key=lambda variable: variable.name))
-    decode = dictionary.term
-    match_ids = graph.match_triple_ids
-    total = len(steps)
-
-    def recurse(position: int) -> Iterator[Binding]:
-        if position == total:
-            yield Binding.from_sorted_items(
-                tuple((variable, decode(env[variable])) for variable in ordered)
-            )
-            return
-        kind, data = compiled[position]
-        slot = filters[position + 1] if filters is not None else ()
-        if kind == "triple":
-            probe = []
-            free: List[Tuple[int, Variable]] = []
-            for index, (is_variable, value) in enumerate(data):
-                if is_variable:
-                    bound = env.get(value)
-                    probe.append(bound)
-                    if bound is None:
-                        free.append((index, value))
-                else:
-                    probe.append(value)
-            for ids in match_ids(probe[0], probe[1], probe[2]):
-                added: List[Variable] = []
-                consistent = True
-                for index, variable in free:
-                    value = ids[index]
-                    current = env.get(variable)
-                    if current is None:
-                        env[variable] = value
-                        added.append(variable)
-                    elif current != value:
-                        # Repeated variable (?x p ?x) matched two ids.
-                        consistent = False
-                        break
-                if consistent and all(
-                    id_filter.test(env, dictionary) for id_filter in slot
-                ):
-                    yield from recurse(position + 1)
-                for variable in added:
-                    del env[variable]
-        elif kind == "idpath":
-            path, subject_is_var, subject, object_is_var, obj, admits_zero = data
-            subject_id = env.get(subject) if subject_is_var else subject
-            object_id = env.get(obj) if object_is_var else obj
-            if admits_zero:
-                # A *substituted* variable endpoint only ranges over graph
-                # nodes, so its zero-length self-match requires node
-                # membership (constants stay syntactic) — the id-space
-                # mirror of plan._match_path's pre-check.
-                if (
-                    subject_is_var
-                    and subject_id is not None
-                    and not engine.is_node(subject_id)
-                ):
-                    return
-                if (
-                    object_is_var
-                    and object_id is not None
-                    and not engine.is_node(object_id)
-                ):
-                    return
-            for start, end in engine.pair_ids(path, subject_id, object_id):
-                added = []
-                consistent = True
-                if subject_is_var and subject_id is None:
-                    env[subject] = start
-                    added.append(subject)
-                if object_is_var and object_id is None:
-                    current = env.get(obj)
-                    if current is None:
-                        env[obj] = end
-                        added.append(obj)
-                    elif current != end:
-                        # ?x path ?x with both ends free: the subject
-                        # binding above already fixed the shared variable.
-                        consistent = False
-                if consistent and all(
-                    id_filter.test(env, dictionary) for id_filter in slot
-                ):
-                    yield from recurse(position + 1)
-                for variable in added:
-                    del env[variable]
-        else:
-            node = data
-            endpoint_mapping: Dict[Variable, Term] = {}
-            for part in (node.subject, node.object):
-                if isinstance(part, Variable):
-                    term_id = env.get(part)
-                    if term_id is not None:
-                        endpoint_mapping[part] = decode(term_id)
-            base = Binding(endpoint_mapping)
-            encode = dictionary.encode
-            for extension in _match_path(graph, node, base, path_evaluator):
-                added = []
-                for variable, term in extension.items():
-                    if variable not in endpoint_mapping:
-                        # Fresh endpoint: interning is idempotent for graph
-                        # terms and harmlessly append-only for the rare
-                        # zero-length-path endpoint outside the graph.
-                        env[variable] = encode(term)
-                        added.append(variable)
-                if all(id_filter.test(env, dictionary) for id_filter in slot):
-                    yield from recurse(position + 1)
-                for variable in added:
-                    del env[variable]
-
-    yield from recurse(0)
+    options = physical.LoweringOptions(
+        id_execution=True,
+        id_paths=use_id_paths or path_engine is not None,
+        wcoj=False,
+    )
+    physical_plan = physical.lower_plan(
+        plan, graph, options=options, step_filters=step_filters
+    )
+    return physical.execute(
+        physical_plan,
+        graph,
+        path_evaluator=path_evaluator,
+        path_engine=path_engine,
+        initial=initial,
+    )

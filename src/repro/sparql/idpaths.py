@@ -167,7 +167,7 @@ class IdPathEngine:
         """True when the id occurs in subject or object position."""
         return term_id in self._nodes()
 
-    def _endpoint_id(self, part, path: PropertyPath):
+    def endpoint_id(self, part, path: PropertyPath):
         """Resolve a syntactic endpoint to an id without growing the store.
 
         Variables resolve to ``None`` (free).  A constant already in the
@@ -180,6 +180,9 @@ class IdPathEngine:
         intern does mutate shared store state: the term lands in the
         dictionary for good and will be carried by snapshots — the price
         of keeping every downstream comparison a plain int.
+
+        Public because the physical executor pre-resolves path-step
+        endpoints through the same rule.
         """
         if isinstance(part, Variable):
             return None
@@ -189,6 +192,9 @@ class IdPathEngine:
         if matches_zero_length(path):
             return self._dict.encode(part)
         return _ABSENT
+
+    #: Backwards-compatible alias (pre-physical-layer name).
+    _endpoint_id = endpoint_id
 
     def pair_ids(
         self,

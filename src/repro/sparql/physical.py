@@ -1,0 +1,1145 @@
+"""Physical-operator execution layer: plan IR, lowering pass, executors.
+
+Logical planning (:mod:`repro.sparql.plan`) stops at an ordered
+:class:`~repro.sparql.plan.BGPPlan`; this module turns that logical plan
+into an explicit *physical* plan — a small DAG of operator dataclasses —
+and executes it.  The split gives every execution strategy one home:
+
+* **IR** — :class:`Scan`, :class:`IndexNestedLoopJoin`,
+  :class:`LeapfrogJoin`, :class:`Filter`, :class:`PathExpand` and
+  :class:`Project` describe *how* a BGP runs.  Operators carry the
+  estimates the lowering pass used plus mutable :class:`OperatorStats`
+  row/probe counters filled in during execution, and the whole tree
+  renders through :meth:`PhysicalPlan.explain`.
+
+* **Lowering** — :func:`lower_plan` chooses term-space vs. id-space
+  operators per *backend capability* (duck-typed store surfaces) rather
+  than per evaluator knob: an id-capable graph gets the id-native
+  pipeline, everything else the term pipeline, and the knobs of
+  :class:`~repro.sparql.evaluator.SparqlEvaluator` merely map onto
+  :class:`LoweringOptions`.  FILTER conjuncts arrive here and become
+  :class:`Filter` operators wrapped around the earliest input that binds
+  their variables (:func:`repro.sparql.plan.attach_filters`).
+
+* **Executors** — :func:`execute` walks the DAG with streaming
+  iterators.  The index-nested-loop pipelines (term- and id-space) moved
+  here verbatim from ``plan.execute_plan`` / ``idexec.execute_plan_ids``,
+  which survive as thin compatibility shims.
+
+* **Worst-case-optimal join** — :class:`LeapfrogJoin` implements the
+  leapfrog-triejoin of Veldhuizen over the encoded store's sorted id
+  runs.  Binary join plans are provably suboptimal on cyclic join graphs
+  (triangles, k-cliques blow up the best binary order to Θ(N²) on skewed
+  data — "Skew Strikes Back", Ngo/Ré/Rudra 2013); the lowering pass
+  detects cyclicity with a GYO ear-removal reduction and switches those
+  BGPs to the multiway intersection, which enumerates one global variable
+  order and intersects, per variable, the sorted candidate runs of every
+  pattern containing it.  Acyclic BGPs keep the binary pipeline.
+
+The greedy ordering machinery (:func:`greedy_order`,
+:func:`select_cheapest`) lives here too and serves both
+:func:`repro.sparql.plan.plan_bgp` and the Datalog engine's body-atom
+ordering, so join ordering is no longer forked per engine.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.rdf.terms import Variable
+from repro.sparql.algebra import PathPattern, TriplePatternNode
+from repro.sparql.expressions import (
+    Comparison,
+    Expression,
+    FunctionCall,
+    TermExpr,
+    VariableExpr,
+    satisfies,
+)
+from repro.sparql.idexec import IdFilter, supports_id_execution
+from repro.sparql.idpaths import _ABSENT, IdPathEngine, supports_id_paths
+from repro.sparql.paths import matches_zero_length, normalize_path
+from repro.sparql.plan import (
+    BGPPlan,
+    PathEvaluator,
+    StepFilters,
+    _match_path,
+    attach_filters,
+    match_triple,
+)
+from repro.sparql.solutions import Binding, EMPTY_BINDING
+
+
+# ----------------------------------------------------------------------
+# shared greedy ordering (BGP planning and Datalog body ordering)
+# ----------------------------------------------------------------------
+def select_cheapest(items: Sequence, estimate: Callable, tie_key: Callable):
+    """Return the item minimising ``(estimate(item), tie_key(item))``.
+
+    The single tie-break rule shared by the BGP planner and the Datalog
+    engine's body ordering: cost first, source position second, keeping
+    both orderings deterministic.
+    """
+    best_item = None
+    best_key = None
+    for item in items:
+        key = (estimate(item), tie_key(item))
+        if best_key is None or key < best_key:
+            best_key, best_item = key, item
+    return best_item
+
+
+def greedy_order(
+    items: Sequence,
+    variables_of: Callable[[object], Set],
+    estimate: Callable[[object, Set], float],
+) -> List[Tuple[int, object, float]]:
+    """Greedily order ``items`` by estimated cardinality given bound variables.
+
+    At each step the cheapest item among those sharing a variable with
+    the already-bound set is chosen (all items qualify at the first step
+    or when nothing is bound yet); a disconnected item — a Cartesian
+    product — is only chosen when no connected item remains.  Ties fall
+    back to source order.  Returns ``(source_index, item, estimate)``
+    triples in execution order.  This is the ordering loop behind
+    :func:`repro.sparql.plan.plan_bgp` and (through
+    :func:`select_cheapest`) the Datalog engine's atom ordering.
+    """
+    remaining: List[Tuple[int, object]] = list(enumerate(items))
+    bound: Set = set()
+    ordered: List[Tuple[int, object, float]] = []
+    while remaining:
+        candidates = [
+            (index, item)
+            for index, item in remaining
+            if not bound or not variables_of(item) or variables_of(item) & bound
+        ]
+        if not candidates:
+            candidates = remaining
+        best_index, best_item, best_estimate = None, None, None
+        for index, item in candidates:
+            cost = estimate(item, bound)
+            if best_estimate is None or cost < best_estimate:
+                best_index, best_item, best_estimate = index, item, cost
+        ordered.append((best_index, best_item, best_estimate))
+        bound |= variables_of(best_item)
+        remaining = [(i, it) for i, it in remaining if i != best_index]
+    return ordered
+
+
+# ----------------------------------------------------------------------
+# join-graph cyclicity (GYO ear-removal reduction)
+# ----------------------------------------------------------------------
+def is_cyclic(variable_sets: Iterable[Iterable[Variable]]) -> bool:
+    """True when the join hypergraph of ``variable_sets`` is alpha-cyclic.
+
+    GYO reduction: repeatedly (a) drop *ear* variables occurring in
+    exactly one hyperedge and (b) drop hyperedges contained in another
+    edge.  An acyclic hypergraph reduces to at most one edge; getting
+    stuck with two or more means a cycle — a triangle
+    ``{x,y} {y,z} {z,x}`` is the minimal stuck state.
+    """
+    edges = [set(edge) for edge in variable_sets if edge]
+    if len(edges) <= 1:
+        return False
+    changed = True
+    while changed:
+        changed = False
+        counts: Dict[Variable, int] = {}
+        for edge in edges:
+            for variable in edge:
+                counts[variable] = counts.get(variable, 0) + 1
+        for edge in edges:
+            ears = {variable for variable in edge if counts[variable] == 1}
+            if ears:
+                edge -= ears
+                changed = True
+        for index, edge in enumerate(edges):
+            if any(
+                other_index != index and edge <= other
+                for other_index, other in enumerate(edges)
+            ):
+                # Only one edge per pass: duplicate edges are subsets of
+                # each other, and removing both at once would be wrong.
+                edges.pop(index)
+                changed = True
+                break
+        if len(edges) <= 1:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# operator IR
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class OperatorStats:
+    """Mutable per-operator counters, accumulated across executions.
+
+    ``probes`` counts index/engine lookups issued by the operator (or
+    rows tested, for filters); ``rows`` counts rows the operator passed
+    downstream.  Surfaced through :meth:`PhysicalPlan.counters` for the
+    bench metrics hooks and ``explain(counters=True)``.
+    """
+
+    rows: int = 0
+    probes: int = 0
+
+    def reset(self) -> None:
+        self.rows = 0
+        self.probes = 0
+
+
+class PhysicalOperator:
+    """Base class of physical plan operators."""
+
+    def children(self) -> Tuple["PhysicalOperator", ...]:
+        return ()
+
+    def describe(self) -> str:  # pragma: no cover - every subclass overrides
+        raise NotImplementedError
+
+
+def _condition_label(expression: Expression) -> str:
+    """Compact, stable rendering of a FILTER conjunct for explain output."""
+    if isinstance(expression, Comparison):
+        return (
+            f"({_condition_label(expression.left)} {expression.operator} "
+            f"{_condition_label(expression.right)})"
+        )
+    if isinstance(expression, VariableExpr):
+        return repr(expression.variable)
+    if isinstance(expression, TermExpr):
+        return repr(expression.term)
+    if isinstance(expression, FunctionCall):
+        arguments = ", ".join(_condition_label(a) for a in expression.arguments)
+        return f"{expression.name}({arguments})"
+    return repr(expression)
+
+
+@dataclass(eq=False)
+class Scan(PhysicalOperator):
+    """Index probes of one triple pattern (bound components substituted)."""
+
+    node: TriplePatternNode
+    estimate: float
+    source_index: int
+    stats: OperatorStats = field(default_factory=OperatorStats, repr=False)
+
+    def describe(self) -> str:
+        return f"Scan {self.node!r} est={self.estimate:g}"
+
+
+@dataclass(eq=False)
+class PathExpand(PhysicalOperator):
+    """Property-path expansion; ``mode`` records the chosen machinery.
+
+    ``"id"`` runs the id-native :class:`~repro.sparql.idpaths.IdPathEngine`;
+    ``"term"`` runs the evaluator's term-level ALP procedure (on a term
+    backend, or as the decode/re-intern bridge inside an id pipeline).
+    """
+
+    node: PathPattern
+    estimate: float
+    source_index: int
+    mode: str = "term"
+    stats: OperatorStats = field(default_factory=OperatorStats, repr=False)
+
+    def describe(self) -> str:
+        return f"PathExpand[{self.mode}] {self.node!r} est={self.estimate:g}"
+
+
+@dataclass(eq=False)
+class Filter(PhysicalOperator):
+    """FILTER conjuncts checked against each row of the wrapped input."""
+
+    child: PhysicalOperator
+    conditions: Tuple[Expression, ...]
+    stats: OperatorStats = field(default_factory=OperatorStats, repr=False)
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        rendered = " && ".join(_condition_label(c) for c in self.conditions)
+        return f"Filter {rendered}"
+
+
+@dataclass(eq=False)
+class IndexNestedLoopJoin(PhysicalOperator):
+    """Binary pipeline: each input extends the rows of the previous ones."""
+
+    inputs: Tuple[PhysicalOperator, ...]
+    stats: OperatorStats = field(default_factory=OperatorStats, repr=False)
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return self.inputs
+
+    def describe(self) -> str:
+        return f"IndexNestedLoopJoin steps={len(self.inputs)}"
+
+
+@dataclass(eq=False)
+class LeapfrogJoin(PhysicalOperator):
+    """Leapfrog-triejoin: multiway sorted intersection per variable level.
+
+    ``var_order`` is the global variable elimination order;
+    ``level_conditions`` holds the FILTER conjuncts checked as soon as
+    the level binding their last variable completes (final slot: after
+    all levels, matching a post-filter).
+    """
+
+    scans: Tuple[Scan, ...]
+    var_order: Tuple[Variable, ...]
+    level_conditions: Tuple[Tuple[Expression, ...], ...]
+    stats: OperatorStats = field(default_factory=OperatorStats, repr=False)
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return self.scans
+
+    def describe(self) -> str:
+        order = ", ".join(repr(v) for v in self.var_order)
+        label = f"LeapfrogJoin order=[{order}]"
+        attached = [
+            f"{_condition_label(c)}@{self.var_order[level]!r}"
+            if level < len(self.var_order)
+            else f"{_condition_label(c)}@end"
+            for level, slot in enumerate(self.level_conditions)
+            for c in slot
+        ]
+        if attached:
+            label += " filters=[" + ", ".join(attached) + "]"
+        return label
+
+
+@dataclass(eq=False)
+class Project(PhysicalOperator):
+    """Result boundary: decodes ids / fixes the output variable order."""
+
+    child: PhysicalOperator
+    variables: Tuple[Variable, ...]
+    decode: str
+    stats: OperatorStats = field(default_factory=OperatorStats, repr=False)
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        rendered = ", ".join(repr(v) for v in self.variables)
+        return f"Project [{rendered}] decode={self.decode}"
+
+
+@dataclass(eq=False)
+class PhysicalPlan:
+    """A lowered BGP: the operator DAG plus the space it executes in."""
+
+    root: Project
+    space: str
+    source: BGPPlan
+    _operator_cache: Optional[List[PhysicalOperator]] = field(
+        default=None, repr=False
+    )
+    _step_cache: Optional[List[Tuple]] = field(default=None, repr=False)
+
+    def operators(self) -> List[PhysicalOperator]:
+        """Every operator of the DAG in depth-first pre-order.
+
+        The DAG is immutable after lowering, so the walk is memoised —
+        cached plans reset their counters on every reuse and must not
+        pay a fresh traversal each time.
+        """
+        if self._operator_cache is None:
+            result: List[PhysicalOperator] = []
+            stack: List[PhysicalOperator] = [self.root]
+            while stack:
+                operator = stack.pop()
+                result.append(operator)
+                stack.extend(reversed(operator.children()))
+            self._operator_cache = result
+        return self._operator_cache
+
+    def reset_stats(self) -> None:
+        for operator in self.operators():
+            operator.stats.reset()
+
+    def counters(self) -> List[Dict[str, object]]:
+        """Per-operator row/probe counters for the bench metrics hooks."""
+        return [
+            {
+                "operator": type(operator).__name__,
+                "describe": operator.describe(),
+                "rows": operator.stats.rows,
+                "probes": operator.stats.probes,
+            }
+            for operator in self.operators()
+        ]
+
+    def explain(self, counters: bool = False) -> str:
+        """Tree rendering of the physical plan (golden-testable).
+
+        With ``counters=True`` each line carries the accumulated
+        row/probe counts of its operator.
+        """
+        lines: List[str] = []
+
+        def render(operator: PhysicalOperator, prefix: str, is_last: bool, top: bool):
+            label = operator.describe()
+            if counters:
+                label += f" rows={operator.stats.rows} probes={operator.stats.probes}"
+            if top:
+                lines.append(label)
+                child_prefix = ""
+            else:
+                lines.append(prefix + ("└─ " if is_last else "├─ ") + label)
+                child_prefix = prefix + ("   " if is_last else "│  ")
+            kids = operator.children()
+            for index, kid in enumerate(kids):
+                render(kid, child_prefix, index == len(kids) - 1, False)
+
+        render(self.root, "", True, True)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# lowering
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LoweringOptions:
+    """Evaluator knobs mapped onto the lowering pass.
+
+    The operators themselves are chosen per backend capability; these
+    options only *disable* capabilities (to recover the differential
+    oracle pipelines), never force an unsupported one.
+    """
+
+    id_execution: bool = True
+    filter_pushdown: bool = True
+    id_paths: bool = True
+    wcoj: bool = True
+
+
+#: The sorted-run/seek surface the leapfrog operator needs from a store.
+LEAPFROG_SURFACE = (
+    "sorted_subjects_for_predicate",
+    "sorted_objects_for_predicate",
+    "sorted_objects_for_subject_predicate",
+    "sorted_subjects_for_predicate_object",
+)
+
+
+def supports_leapfrog(graph: object) -> bool:
+    """True when ``graph`` exposes sorted id runs (duck-typed, like id exec)."""
+    return all(hasattr(graph, name) for name in LEAPFROG_SURFACE)
+
+
+def _leapfrog_eligible(plan: BGPPlan, graph) -> bool:
+    """Can (and should) this plan run as a leapfrog triejoin?
+
+    Requires the sorted-run surface, at least three pure triple patterns
+    with constant predicates and no repeated variable inside one pattern,
+    and — the actual trigger — a *cyclic* join hypergraph, where every
+    binary join order is worst-case suboptimal.  Acyclic plans stay on
+    the binary pipeline, which GYO-reduces to the optimal shape anyway.
+    """
+    if len(plan.steps) < 3 or not supports_leapfrog(graph):
+        return False
+    edges = []
+    for step in plan.steps:
+        node = step.node
+        if not isinstance(node, TriplePatternNode):
+            return False
+        triple = node.triple
+        if isinstance(triple.predicate, Variable):
+            return False
+        if (
+            isinstance(triple.subject, Variable)
+            and isinstance(triple.object, Variable)
+            and triple.subject == triple.object
+        ):
+            return False
+        variables = node.variables()
+        if variables:
+            edges.append(frozenset(variables))
+    return is_cyclic(edges)
+
+
+def _leapfrog_variable_order(plan: BGPPlan, graph) -> Tuple[Variable, ...]:
+    """Global variable order: smallest candidate run first, stay connected.
+
+    A variable's root-level candidate run is exact (the projection of a
+    predicate's extension onto that position), so its size comes straight
+    from the store statistics.  Connectivity preference mirrors the
+    binary planner's Cartesian-product avoidance.
+    """
+    sizes: Dict[Variable, float] = {}
+    adjacency: Dict[Variable, Set[Variable]] = {}
+    for step in plan.steps:
+        triple = step.node.triple
+        subject, predicate, obj = triple.subject, triple.predicate, triple.object
+        if isinstance(subject, Variable):
+            size = (
+                float(graph.distinct_subjects(predicate))
+                if isinstance(obj, Variable)
+                else float(graph.pattern_cardinality(None, predicate, obj))
+            )
+            sizes[subject] = min(sizes.get(subject, float("inf")), size)
+            adjacency.setdefault(subject, set())
+        if isinstance(obj, Variable):
+            size = (
+                float(graph.distinct_objects(predicate))
+                if isinstance(subject, Variable)
+                else float(graph.pattern_cardinality(subject, predicate, None))
+            )
+            sizes[obj] = min(sizes.get(obj, float("inf")), size)
+            adjacency.setdefault(obj, set())
+        if isinstance(subject, Variable) and isinstance(obj, Variable):
+            adjacency[subject].add(obj)
+            adjacency[obj].add(subject)
+    order: List[Variable] = []
+    chosen: Set[Variable] = set()
+    while len(order) < len(sizes):
+        candidates = [
+            variable
+            for variable in sizes
+            if variable not in chosen
+            and (not order or adjacency[variable] & chosen)
+        ]
+        if not candidates:
+            candidates = [v for v in sizes if v not in chosen]
+        best = min(candidates, key=lambda v: (sizes[v], v.name))
+        order.append(best)
+        chosen.add(best)
+    return tuple(order)
+
+
+def _attach_level_conditions(
+    var_order: Tuple[Variable, ...], conditions: Sequence[Expression]
+) -> Tuple[Tuple[Expression, ...], ...]:
+    """Assign conjuncts to the earliest leapfrog level binding their variables.
+
+    Slot ``l`` is checked right after ``var_order[l]`` binds; the final
+    slot runs after all levels (conditions over never-bound variables
+    evaluate there exactly as a post-filter: unbound → error → false).
+    """
+    slots: List[List[Expression]] = [[] for _ in range(len(var_order) + 1)]
+    for condition in conditions:
+        variables = condition.variables()
+        target = len(var_order)
+        bound: Set[Variable] = set()
+        for level, variable in enumerate(var_order):
+            bound.add(variable)
+            if variables <= bound:
+                target = level
+                break
+        slots[target].append(condition)
+    return tuple(tuple(slot) for slot in slots)
+
+
+def lower_plan(
+    plan: BGPPlan,
+    graph,
+    conditions: Sequence[Expression] = (),
+    options: Optional[LoweringOptions] = None,
+    step_filters: Optional[StepFilters] = None,
+) -> PhysicalPlan:
+    """Lower a logical BGP plan to a physical operator DAG.
+
+    Chooses the execution space from the backend's capabilities
+    (``supports_id_execution`` → id pipeline) intersected with
+    ``options``; picks :class:`LeapfrogJoin` for cyclic join graphs on a
+    sorted-run-capable store, :class:`IndexNestedLoopJoin` otherwise.
+    FILTER conjuncts (``conditions``, or a precomputed ``step_filters``
+    attachment) become :class:`Filter` operators at the earliest input
+    binding their variables; with ``filter_pushdown`` disabled they all
+    run at the final slot, i.e. as a plain post-filter.
+    """
+    options = options if options is not None else LoweringOptions()
+    id_space = options.id_execution and supports_id_execution(graph)
+    space = "id" if id_space else "term"
+    if step_filters is None and conditions:
+        if options.filter_pushdown:
+            step_filters = attach_filters(plan, tuple(conditions))
+        else:
+            slots: List[Tuple[Expression, ...]] = [()] * (len(plan.steps) + 1)
+            slots[len(plan.steps)] = tuple(conditions)
+            step_filters = tuple(slots)
+    flat_conditions = (
+        [c for slot in step_filters for c in slot] if step_filters is not None else []
+    )
+    prefilters = tuple(c for c in flat_conditions if not c.variables())
+    join: PhysicalOperator
+    if id_space and options.wcoj and _leapfrog_eligible(plan, graph):
+        var_order = _leapfrog_variable_order(plan, graph)
+        level_conditions = _attach_level_conditions(
+            var_order, [c for c in flat_conditions if c.variables()]
+        )
+        scans = tuple(
+            Scan(step.node, step.estimate, step.source_index) for step in plan.steps
+        )
+        join = LeapfrogJoin(scans, var_order, level_conditions)
+    else:
+        path_mode = (
+            "id" if id_space and options.id_paths and supports_id_paths(graph) else "term"
+        )
+        inputs: List[PhysicalOperator] = []
+        for position, step in enumerate(plan.steps):
+            leaf: PhysicalOperator
+            if isinstance(step.node, TriplePatternNode):
+                leaf = Scan(step.node, step.estimate, step.source_index)
+            elif isinstance(step.node, PathPattern):
+                leaf = PathExpand(step.node, step.estimate, step.source_index, path_mode)
+            else:  # pragma: no cover - plan_bgp only admits the two kinds above
+                raise TypeError(f"unsupported plan node {type(step.node).__name__}")
+            slot = step_filters[position + 1] if step_filters is not None else ()
+            inputs.append(Filter(leaf, tuple(slot)) if slot else leaf)
+        join = IndexNestedLoopJoin(tuple(inputs))
+        prefilters = tuple(step_filters[0]) if step_filters is not None else ()
+    child = Filter(join, prefilters) if prefilters else join
+    result_variables: Set[Variable] = set()
+    for step in plan.steps:
+        result_variables |= step.node.variables()
+    ordered = tuple(sorted(result_variables, key=lambda v: v.name))
+    return PhysicalPlan(root=Project(child, ordered, space), space=space, source=plan)
+
+
+def lower_bgp(
+    graph,
+    patterns: Sequence,
+    conditions: Sequence[Expression] = (),
+    options: Optional[LoweringOptions] = None,
+) -> PhysicalPlan:
+    """Plan and lower a BGP in one call (convenience for tests/tools)."""
+    from repro.sparql.plan import plan_bgp
+
+    return lower_plan(plan_bgp(graph, patterns), graph, conditions, options)
+
+
+# ----------------------------------------------------------------------
+# executor
+# ----------------------------------------------------------------------
+def _unwrap_root(plan: PhysicalPlan):
+    """Split the root chain into (prefilter Filter or None, join operator)."""
+    child = plan.root.child
+    if isinstance(child, Filter):
+        return child, child.child
+    return None, child
+
+
+def _unwrap_input(input_op: PhysicalOperator):
+    """Split a join input into (leaf, conditions, Filter op or None)."""
+    if isinstance(input_op, Filter):
+        return input_op.child, input_op.conditions, input_op
+    return input_op, (), None
+
+
+def execute(
+    plan: PhysicalPlan,
+    graph,
+    path_evaluator: Optional[PathEvaluator] = None,
+    path_engine: Optional[IdPathEngine] = None,
+    initial: Binding = EMPTY_BINDING,
+) -> Iterator[Binding]:
+    """Execute a physical plan, streaming bindings.
+
+    ``path_evaluator`` backs term-mode :class:`PathExpand` operators (and
+    the bridge inside id pipelines); ``path_engine`` is an optional
+    pre-built :class:`IdPathEngine` (the evaluator passes its cached one).
+    ``initial`` pre-binds variables exactly like the legacy pipelines.
+    """
+    prefilter_op, join = _unwrap_root(plan)
+    if plan.space == "id":
+        return _execute_id(plan, graph, prefilter_op, join, path_evaluator, path_engine, initial)
+    return _execute_term(plan, graph, prefilter_op, join, path_evaluator, initial)
+
+
+def _execute_term(
+    plan: PhysicalPlan,
+    graph,
+    prefilter_op: Optional[Filter],
+    join: PhysicalOperator,
+    path_evaluator: Optional[PathEvaluator],
+    initial: Binding,
+) -> Iterator[Binding]:
+    """Term-space index-nested-loop pipeline (ex ``plan.execute_plan``)."""
+    if prefilter_op is not None:
+        prefilter_op.stats.probes += 1
+        if not all(satisfies(c, initial) for c in prefilter_op.conditions):
+            return iter(())
+        prefilter_op.stats.rows += 1
+    steps = plan._step_cache
+    if steps is None:
+        steps = [_unwrap_input(input_op) for input_op in join.inputs]
+        plan._step_cache = steps
+    total = len(steps)
+    join_stats = join.stats
+    project_stats = plan.root.stats
+
+    def recurse(position: int, binding: Binding) -> Iterator[Binding]:
+        if position == total:
+            join_stats.rows += 1
+            project_stats.rows += 1
+            yield binding
+            return
+        leaf, conditions, filter_op = steps[position]
+        leaf.stats.probes += 1
+        if isinstance(leaf, Scan):
+            matches: Iterator[Binding] = match_triple(graph, leaf.node.triple, binding)
+        else:
+            if path_evaluator is None:
+                raise TypeError("plan contains a path pattern but no path evaluator")
+            matches = _match_path(graph, leaf.node, binding, path_evaluator)
+        # Counters batch into locals, flushed in the finally block (which
+        # also covers partially-consumed streams) — a per-row attribute
+        # increment is measurable on fan-heavy inner loops, an int += not.
+        rows_seen = 0
+        slot_probes = 0
+        slot_rows = 0
+        try:
+            for extended in matches:
+                rows_seen += 1
+                if conditions:
+                    slot_probes += 1
+                    if not all(satisfies(c, extended) for c in conditions):
+                        continue
+                    slot_rows += 1
+                yield from recurse(position + 1, extended)
+        finally:
+            leaf.stats.rows += rows_seen
+            if filter_op is not None:
+                filter_op.stats.probes += slot_probes
+                filter_op.stats.rows += slot_rows
+
+    return recurse(0, initial)
+
+
+def _execute_id(
+    plan: PhysicalPlan,
+    graph,
+    prefilter_op: Optional[Filter],
+    join: PhysicalOperator,
+    path_evaluator: Optional[PathEvaluator],
+    path_engine: Optional[IdPathEngine],
+    initial: Binding,
+) -> Iterator[Binding]:
+    """Id-space pipelines (ex ``idexec.execute_plan_ids`` + leapfrog)."""
+    dictionary = graph.dictionary
+    env: Dict[Variable, int] = {}
+    if len(initial):
+        # encode (not id_for): an initial term outside the graph gets a
+        # fresh id that simply never matches a probe — identical, by
+        # construction, to the term-space pipeline finding no triples.
+        encode = dictionary.encode
+        for variable, term in initial.items():
+            env[variable] = encode(term)
+    if prefilter_op is not None:
+        prefilter_op.stats.probes += 1
+        compiled_pre = tuple(IdFilter(c, dictionary) for c in prefilter_op.conditions)
+        if not all(id_filter.test(env, dictionary) for id_filter in compiled_pre):
+            return iter(())
+        prefilter_op.stats.rows += 1
+    if isinstance(join, LeapfrogJoin):
+        return _execute_leapfrog(plan, graph, join, env, dictionary)
+    return _execute_id_inlj(plan, graph, join, env, dictionary, path_evaluator, path_engine)
+
+
+def _decode_order(env: Dict[Variable, int], plan: PhysicalPlan) -> Tuple[Variable, ...]:
+    """Result decode order: plan variables plus initial-bound ones, sorted.
+
+    The environment's domain at the leaf is the same for every result
+    row (every operator binds its variables), so the decode order — and
+    the Binding sort — is computed once.
+    """
+    if not env:
+        return plan.root.variables
+    result_variables = set(env) | set(plan.root.variables)
+    return tuple(sorted(result_variables, key=lambda variable: variable.name))
+
+
+def _execute_id_inlj(
+    plan: PhysicalPlan,
+    graph,
+    join: PhysicalOperator,
+    env: Dict[Variable, int],
+    dictionary,
+    path_evaluator: Optional[PathEvaluator],
+    path_engine: Optional[IdPathEngine],
+) -> Iterator[Binding]:
+    """Id-space index-nested-loop pipeline with in-place environments."""
+    steps = [_unwrap_input(input_op) for input_op in join.inputs]
+    needs_engine = any(
+        isinstance(leaf, PathExpand) and leaf.mode == "id" for leaf, _, _ in steps
+    )
+    if path_engine is not None:
+        engine: Optional[IdPathEngine] = path_engine
+    elif needs_engine and supports_id_paths(graph):
+        engine = IdPathEngine(graph)
+    else:
+        engine = None
+
+    # Compile each step: triple patterns to (is_variable, value) component
+    # triples with constants pre-interned; a constant the dictionary has
+    # never seen cannot occur in any triple, so the BGP is empty.  Path
+    # steps destined for the id engine pre-normalize their path and
+    # pre-intern constant endpoints (a fresh id for an unseen constant is
+    # harmless: it only ever matches syntactically, via zero-length).
+    compiled: List[Tuple[str, object, Tuple[IdFilter, ...], OperatorStats, object]] = []
+    for leaf, conditions, filter_op in steps:
+        id_filters = tuple(IdFilter(c, dictionary) for c in conditions)
+        filter_stats = filter_op.stats if filter_op is not None else None
+        if isinstance(leaf, Scan):
+            parts = []
+            for part in leaf.node.triple:
+                if isinstance(part, Variable):
+                    parts.append((True, part))
+                else:
+                    term_id = dictionary.id_for(part)
+                    if term_id is None:
+                        return iter(())
+                    parts.append((False, term_id))
+            compiled.append(("triple", tuple(parts), id_filters, leaf.stats, filter_stats))
+        elif leaf.mode == "id" and engine is not None:
+            node = leaf.node
+            path = normalize_path(node.path)
+            subject_is_var = isinstance(node.subject, Variable)
+            object_is_var = isinstance(node.object, Variable)
+            # Constant endpoints resolve through the engine's shared
+            # unknown-constant rule: _ABSENT (a non-zero-admitting
+            # path with an unseen constant) empties the whole BGP.
+            subject_spec = (
+                node.subject if subject_is_var else engine.endpoint_id(node.subject, path)
+            )
+            object_spec = (
+                node.object if object_is_var else engine.endpoint_id(node.object, path)
+            )
+            if subject_spec is _ABSENT or object_spec is _ABSENT:
+                return iter(())
+            spec = (
+                path,
+                subject_is_var,
+                subject_spec,
+                object_is_var,
+                object_spec,
+                matches_zero_length(path),
+            )
+            compiled.append(("idpath", spec, id_filters, leaf.stats, filter_stats))
+        else:
+            if path_evaluator is None:
+                raise TypeError("plan contains a path pattern but no path evaluator")
+            compiled.append(("path", leaf.node, id_filters, leaf.stats, filter_stats))
+
+    ordered = _decode_order(env, plan)
+    decode = dictionary.term
+    match_ids = graph.match_triple_ids
+    total = len(compiled)
+    join_stats = join.stats
+    project_stats = plan.root.stats
+
+    def test_slot(slot: Tuple[IdFilter, ...], filter_stats) -> bool:
+        if not slot:
+            return True
+        filter_stats.probes += 1
+        if all(id_filter.test(env, dictionary) for id_filter in slot):
+            filter_stats.rows += 1
+            return True
+        return False
+
+    def recurse(position: int) -> Iterator[Binding]:
+        if position == total:
+            join_stats.rows += 1
+            project_stats.rows += 1
+            yield Binding.from_sorted_items(
+                tuple((variable, decode(env[variable])) for variable in ordered)
+            )
+            return
+        kind, data, slot, leaf_stats, filter_stats = compiled[position]
+        leaf_stats.probes += 1
+        if kind == "triple":
+            probe = []
+            free: List[Tuple[int, Variable]] = []
+            for index, (is_variable, value) in enumerate(data):
+                if is_variable:
+                    bound = env.get(value)
+                    probe.append(bound)
+                    if bound is None:
+                        free.append((index, value))
+                else:
+                    probe.append(value)
+            # The per-row counters batch into locals and flush in the
+            # finally block: on this innermost loop an attribute increment
+            # per intermediate row is measurable (tens of thousands of
+            # rows per probe on fan-heavy workloads), an int += is not.
+            # The flush also runs when a partially-consumed stream is
+            # closed, so abandoned executions still report the rows they
+            # actually produced.
+            rows_seen = 0
+            slot_probes = 0
+            slot_rows = 0
+            try:
+                for ids in match_ids(probe[0], probe[1], probe[2]):
+                    added: List[Variable] = []
+                    consistent = True
+                    for index, variable in free:
+                        value = ids[index]
+                        current = env.get(variable)
+                        if current is None:
+                            env[variable] = value
+                            added.append(variable)
+                        elif current != value:
+                            # Repeated variable (?x p ?x) matched two ids.
+                            consistent = False
+                            break
+                    if consistent:
+                        rows_seen += 1
+                        if slot:
+                            slot_probes += 1
+                            passed = True
+                            for id_filter in slot:
+                                if not id_filter.test(env, dictionary):
+                                    passed = False
+                                    break
+                            if passed:
+                                slot_rows += 1
+                                yield from recurse(position + 1)
+                        else:
+                            yield from recurse(position + 1)
+                    for variable in added:
+                        del env[variable]
+            finally:
+                leaf_stats.rows += rows_seen
+                if filter_stats is not None:
+                    filter_stats.probes += slot_probes
+                    filter_stats.rows += slot_rows
+        elif kind == "idpath":
+            path, subject_is_var, subject, object_is_var, obj, admits_zero = data
+            subject_id = env.get(subject) if subject_is_var else subject
+            object_id = env.get(obj) if object_is_var else obj
+            if admits_zero:
+                # A *substituted* variable endpoint only ranges over graph
+                # nodes, so its zero-length self-match requires node
+                # membership (constants stay syntactic) — the id-space
+                # mirror of plan._match_path's pre-check.
+                if (
+                    subject_is_var
+                    and subject_id is not None
+                    and not engine.is_node(subject_id)
+                ):
+                    return
+                if (
+                    object_is_var
+                    and object_id is not None
+                    and not engine.is_node(object_id)
+                ):
+                    return
+            for start, end in engine.pair_ids(path, subject_id, object_id):
+                added = []
+                consistent = True
+                if subject_is_var and subject_id is None:
+                    env[subject] = start
+                    added.append(subject)
+                if object_is_var and object_id is None:
+                    current = env.get(obj)
+                    if current is None:
+                        env[obj] = end
+                        added.append(obj)
+                    elif current != end:
+                        # ?x path ?x with both ends free: the subject
+                        # binding above already fixed the shared variable.
+                        consistent = False
+                if consistent:
+                    leaf_stats.rows += 1
+                    if test_slot(slot, filter_stats):
+                        yield from recurse(position + 1)
+                for variable in added:
+                    del env[variable]
+        else:
+            node = data
+            endpoint_mapping = {}
+            for part in (node.subject, node.object):
+                if isinstance(part, Variable):
+                    term_id = env.get(part)
+                    if term_id is not None:
+                        endpoint_mapping[part] = decode(term_id)
+            base = Binding(endpoint_mapping)
+            encode = dictionary.encode
+            for extension in _match_path(graph, node, base, path_evaluator):
+                added = []
+                for variable, term in extension.items():
+                    if variable not in endpoint_mapping:
+                        # Fresh endpoint: interning is idempotent for graph
+                        # terms and harmlessly append-only for the rare
+                        # zero-length-path endpoint outside the graph.
+                        env[variable] = encode(term)
+                        added.append(variable)
+                leaf_stats.rows += 1
+                if test_slot(slot, filter_stats):
+                    yield from recurse(position + 1)
+                for variable in added:
+                    del env[variable]
+
+    return recurse(0)
+
+
+# ----------------------------------------------------------------------
+# leapfrog triejoin
+# ----------------------------------------------------------------------
+def _leapfrog_intersect(arrays: Sequence[Sequence[int]]) -> Iterator[int]:
+    """Yield the sorted intersection of sorted int arrays (leapfrog search).
+
+    Each iterator keeps a cursor; the largest value seen so far is sought
+    in the next array with a galloping ``bisect_left`` from that cursor,
+    so the cost is O(total seeks · log) and skew (one tiny array against
+    a huge one) costs the tiny array's length, not the huge one's.
+    """
+    k = len(arrays)
+    if k == 0:
+        return
+    if k == 1:
+        yield from arrays[0]
+        return
+    for array in arrays:
+        if not array:
+            return
+    positions = [0] * k
+    value = arrays[0][0]
+    matched = 1
+    index = 1
+    while True:
+        array = arrays[index]
+        position = bisect_left(array, value, positions[index])
+        if position == len(array):
+            return
+        positions[index] = position
+        current = array[position]
+        if current == value:
+            matched += 1
+            if matched == k:
+                yield value
+                position += 1
+                if position == len(array):
+                    return
+                positions[index] = position
+                value = array[position]
+                matched = 1
+        else:
+            value = current
+            matched = 1
+        index += 1
+        if index == k:
+            index = 0
+
+
+def _execute_leapfrog(
+    plan: PhysicalPlan,
+    graph,
+    join: LeapfrogJoin,
+    env: Dict[Variable, int],
+    dictionary,
+) -> Iterator[Binding]:
+    """Run a :class:`LeapfrogJoin`: one sorted intersection per variable.
+
+    Every level's candidate runs are *exact* projections of the
+    participating patterns onto the level variable (given the bindings
+    above it), so each total assignment is enumerated at most once —
+    multiset-identical to the binary pipeline on pure-triple BGPs, where
+    every pattern admits multiplicity one per assignment.
+    """
+    var_order = join.var_order
+    levels = len(var_order)
+    compiled: List[Tuple[object, int, object, OperatorStats]] = []
+    for scan in join.scans:
+        triple = scan.node.triple
+        specs = []
+        for part in (triple.subject, triple.object):
+            if isinstance(part, Variable):
+                specs.append(part)
+            else:
+                term_id = dictionary.id_for(part)
+                if term_id is None:
+                    return iter(())
+                specs.append(term_id)
+        predicate_id = dictionary.id_for(triple.predicate)
+        if predicate_id is None:
+            return iter(())
+        compiled.append((specs[0], predicate_id, specs[1], scan.stats))
+    # Fully-ground patterns constrain no variable: membership check once.
+    for subject, predicate_id, obj, stats in compiled:
+        if not isinstance(subject, Variable) and not isinstance(obj, Variable):
+            stats.probes += 1
+            if not graph.pattern_cardinality_ids(subject, predicate_id, obj):
+                return iter(())
+    level_of = {variable: level for level, variable in enumerate(var_order)}
+    occurrences: List[List[Tuple[Tuple, int]]] = [[] for _ in range(levels)]
+    for entry in compiled:
+        subject, _, obj, _ = entry
+        if isinstance(subject, Variable):
+            occurrences[level_of[subject]].append((entry, 0))
+        if isinstance(obj, Variable):
+            occurrences[level_of[obj]].append((entry, 1))
+    level_filters = [
+        tuple(IdFilter(c, dictionary) for c in slot) for slot in join.level_conditions
+    ]
+    sorted_sp = graph.sorted_subjects_for_predicate
+    sorted_op = graph.sorted_objects_for_predicate
+    sorted_spo = graph.sorted_objects_for_subject_predicate
+    sorted_pos = graph.sorted_subjects_for_predicate_object
+
+    def candidates(entry: Tuple, position: int) -> Sequence[int]:
+        """Sorted candidate run of one pattern at one level, given ``env``."""
+        subject, predicate_id, obj, stats = entry
+        stats.probes += 1
+        if position == 0:  # level variable sits at the subject
+            other = obj
+            if isinstance(other, Variable):
+                bound = env.get(other)
+                if bound is None:
+                    return sorted_sp(predicate_id)
+                return sorted_pos(predicate_id, bound)
+            return sorted_pos(predicate_id, other)
+        other = subject  # level variable sits at the object
+        if isinstance(other, Variable):
+            bound = env.get(other)
+            if bound is None:
+                return sorted_op(predicate_id)
+            return sorted_spo(bound, predicate_id)
+        return sorted_spo(other, predicate_id)
+
+    ordered = _decode_order(env, plan)
+    decode = dictionary.term
+    join_stats = join.stats
+    project_stats = plan.root.stats
+    post_filters = level_filters[levels]
+
+    def recurse(level: int) -> Iterator[Binding]:
+        if level == levels:
+            if post_filters and not all(
+                id_filter.test(env, dictionary) for id_filter in post_filters
+            ):
+                return
+            join_stats.rows += 1
+            project_stats.rows += 1
+            yield Binding.from_sorted_items(
+                tuple((variable, decode(env[variable])) for variable in ordered)
+            )
+            return
+        variable = var_order[level]
+        slot = level_filters[level]
+        arrays = [candidates(entry, position) for entry, position in occurrences[level]]
+        prebound = env.get(variable)
+        if prebound is not None:
+            # Initial-binding variable: membership probe into every run.
+            for array in arrays:
+                position = bisect_left(array, prebound)
+                if position == len(array) or array[position] != prebound:
+                    return
+            if not slot or all(id_filter.test(env, dictionary) for id_filter in slot):
+                yield from recurse(level + 1)
+            return
+        for value in _leapfrog_intersect(arrays):
+            env[variable] = value
+            if not slot or all(id_filter.test(env, dictionary) for id_filter in slot):
+                yield from recurse(level + 1)
+        env.pop(variable, None)
+
+    return recurse(0)

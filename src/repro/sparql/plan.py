@@ -25,6 +25,12 @@ explicit planning pipeline:
    the bound variables into the next pattern and probes the graph's
    SPO/POS/OSP indexes directly, yielding bindings lazily so ASK / LIMIT /
    short-circuiting consumers never pay for the full extension.
+
+Both the greedy ordering loop and the pipeline body now live in the
+physical operator layer (:mod:`repro.sparql.physical`) — shared with the
+id-native executor, the leapfrog triejoin and the Datalog engine's body
+ordering; :func:`plan_bgp` and :func:`execute_plan` remain the stable
+logical-planning API on top of it.
 """
 
 from __future__ import annotations
@@ -216,26 +222,19 @@ def plan_bgp(graph: Graph, patterns: Sequence[GraphPatternNode]) -> BGPPlan:
     Cartesian product — is only chosen when no connected pattern remains.
     Ties fall back to source order, keeping planning deterministic.
     """
-    remaining: List[Tuple[int, GraphPatternNode]] = list(enumerate(patterns))
-    bound: Set[Variable] = set()
-    steps: List[PlanStep] = []
-    while remaining:
-        candidates = [
-            (index, node)
-            for index, node in remaining
-            if not bound or not node.variables() or node.variables() & bound
-        ]
-        if not candidates:
-            candidates = remaining
-        best_index, best_node, best_estimate = None, None, None
-        for index, node in candidates:
-            estimate = estimate_cardinality(graph, node, bound)
-            if best_estimate is None or estimate < best_estimate:
-                best_index, best_node, best_estimate = index, node, estimate
-        steps.append(PlanStep(best_node, best_estimate, best_index))
-        bound |= best_node.variables()
-        remaining = [(i, n) for i, n in remaining if i != best_index]
-    return BGPPlan(tuple(steps))
+    # The ordering loop itself lives in the physical layer
+    # (physical.greedy_order), shared with the Datalog engine's body
+    # ordering; imported lazily because physical imports this module.
+    from repro.sparql import physical
+
+    ordered = physical.greedy_order(
+        patterns,
+        lambda node: node.variables(),
+        lambda node, bound: estimate_cardinality(graph, node, bound),
+    )
+    return BGPPlan(
+        tuple(PlanStep(node, estimate, index) for index, node, estimate in ordered)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -368,37 +367,25 @@ def execute_plan(
 ) -> Iterator[Binding]:
     """Run a plan as a streaming index-nested-loop pipeline.
 
-    ``step_filters`` (from :func:`attach_filters`) interleaves FILTER
-    checks with the joins: a row failing its slot's conditions dies
-    immediately instead of being extended by every later step and
-    post-filtered at the end.
+    Compatibility shim: the pipeline body moved to the physical operator
+    layer (:mod:`repro.sparql.physical`); this lowers the plan to a
+    term-space operator DAG and executes it, preserving the original
+    signature and semantics exactly.  ``step_filters`` (from
+    :func:`attach_filters`) interleaves FILTER checks with the joins: a
+    row failing its slot's conditions dies immediately instead of being
+    extended by every later step and post-filtered at the end.
     """
-    steps = plan.steps
-    if step_filters is not None and not all(
-        satisfies(condition, initial) for condition in step_filters[0]
-    ):
-        return iter(())
+    from repro.sparql import physical
 
-    def recurse(position: int, binding: Binding) -> Iterator[Binding]:
-        if position == len(steps):
-            yield binding
-            return
-        node = steps[position].node
-        if isinstance(node, TriplePatternNode):
-            matches: Iterator[Binding] = match_triple(graph, node.triple, binding)
-        elif isinstance(node, PathPattern):
-            if path_evaluator is None:
-                raise TypeError("plan contains a path pattern but no path evaluator")
-            matches = _match_path(graph, node, binding, path_evaluator)
-        else:  # pragma: no cover - plan_bgp only admits the two kinds above
-            raise TypeError(f"unsupported plan node {type(node).__name__}")
-        slot = step_filters[position + 1] if step_filters is not None else ()
-        for extended in matches:
-            if slot and not all(satisfies(condition, extended) for condition in slot):
-                continue
-            yield from recurse(position + 1, extended)
-
-    return recurse(0, initial)
+    physical_plan = physical.lower_plan(
+        plan,
+        graph,
+        options=physical.LoweringOptions(id_execution=False, wcoj=False),
+        step_filters=step_filters,
+    )
+    return physical.execute(
+        physical_plan, graph, path_evaluator=path_evaluator, initial=initial
+    )
 
 
 def evaluate_bgp(

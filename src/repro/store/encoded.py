@@ -120,6 +120,11 @@ class EncodedGraph:
         self._predicate_counts: Dict[int, int] = {}
         self._object_counts: Dict[int, int] = {}
         self._pred_subject_counts: Dict[int, Dict[int, int]] = {}
+        # Sorted id runs for the leapfrog-triejoin operator, keyed by
+        # (kind, ids...) and valid for exactly one version stamp; any
+        # mutation invalidates the whole cache lazily on next access.
+        self._sorted_runs: Dict[Tuple, List[int]] = {}
+        self._sorted_runs_version = -1
         if triples:
             for triple in triples:
                 self.add(triple)
@@ -599,6 +604,50 @@ class EncodedGraph:
     def distinct_objects_ids(self, pid: int) -> int:
         """Distinct object count of a predicate id (O(1), no decode)."""
         return len(self._pos.get(pid, ()))
+
+    # ------------------------------------------------------------------
+    # sorted-run surface (used by the leapfrog-triejoin operator)
+    # ------------------------------------------------------------------
+    def _sorted_run(self, key: Tuple, source: Iterable[int]) -> List[int]:
+        """Return (caching per version stamp) ``sorted(source)``.
+
+        ``copy()`` clones never share this cache — each clone starts with
+        the empty one from ``__init__`` — so runs can alias index
+        internals without outliving a mutation.
+        """
+        if self._sorted_runs_version != self._version:
+            self._sorted_runs.clear()
+            self._sorted_runs_version = self._version
+        run = self._sorted_runs.get(key)
+        if run is None:
+            run = self._sorted_runs[key] = sorted(source)
+        return run
+
+    def sorted_subjects_for_predicate(self, pid: int) -> List[int]:
+        """Sorted distinct subject ids of predicate ``pid`` (exact π_s)."""
+        return self._sorted_run(("ps", pid), self._pred_subject_counts.get(pid, ()))
+
+    def sorted_objects_for_predicate(self, pid: int) -> List[int]:
+        """Sorted distinct object ids of predicate ``pid`` (exact π_o)."""
+        return self._sorted_run(("po", pid), self._pos.get(pid, ()))
+
+    def sorted_objects_for_subject_predicate(self, sid: int, pid: int) -> List[int]:
+        """Sorted object ids of triples ``(sid, pid, ?)`` — forward run."""
+        entry = self._spo.get(sid, _EMPTY).get(pid)
+        if entry is None:
+            return []
+        if type(entry) is not set:
+            return [entry]
+        return self._sorted_run(("spo", sid, pid), entry)
+
+    def sorted_subjects_for_predicate_object(self, pid: int, oid: int) -> List[int]:
+        """Sorted subject ids of triples ``(?, pid, oid)`` — backward run."""
+        entry = self._pos.get(pid, _EMPTY).get(oid)
+        if entry is None:
+            return []
+        if type(entry) is not set:
+            return [entry]
+        return self._sorted_run(("pos", pid, oid), entry)
 
     # ------------------------------------------------------------------
     # id-level access (used by the bulk loader and snapshots)

@@ -49,11 +49,18 @@ def tp(subject, predicate, obj):
 
 
 def _all_configurations(graph_triples):
-    """Both backends x (optimised, decoded-baseline) evaluators."""
+    """Both backends x (optimised, WCOJ-disabled, decoded-baseline) evaluators.
+
+    The default evaluator may lower cyclic BGPs to the leapfrog-triejoin
+    operator on the encoded backend; the ``use_wcoj=False`` configuration
+    pins the binary index-nested-loop pipeline, so any divergence between
+    the two isolates the WCOJ operator.
+    """
     configurations = []
     for backend in (Graph, EncodedGraph):
         dataset = Dataset.from_graph(backend(graph_triples))
         configurations.append(SparqlEvaluator(dataset))
+        configurations.append(SparqlEvaluator(dataset, use_wcoj=False))
         configurations.append(
             SparqlEvaluator(
                 dataset, use_id_execution=False, use_filter_pushdown=False
@@ -337,6 +344,61 @@ def test_differential_random_bgp_filters(edges, bgp, filter_conditions):
 
     triples = [Triple(*edge) for edge in edges]
     node = BGP(tuple(tp(*parts) for parts in bgp))
+    pattern_node = node
+    for filter_condition in filter_conditions:
+        pattern_node = Filter(pattern_node, filter_condition)
+    variables = sorted(pattern_node.variables(), key=lambda v: v.name)
+    query = SelectQuery(
+        projection=tuple(ProjectionItem(variable) for variable in variables),
+        pattern=pattern_node,
+    )
+    results = [
+        Counter(evaluator.evaluate(query).rows())
+        for evaluator in _all_configurations(triples)
+    ]
+    for other in results[1:]:
+        assert other == results[0]
+
+
+# ----------------------------------------------------------------------
+# hypothesis differential: cyclic BGPs exercise the leapfrog operator
+# ----------------------------------------------------------------------
+_CYCLIC_SHAPES = [
+    # triangle
+    lambda x, y, z, w: [(x, EX.p, y), (y, EX.p, z), (z, EX.p, x)],
+    # triangle over mixed predicates
+    lambda x, y, z, w: [(x, EX.p, y), (y, EX.q, z), (z, EX.p, x)],
+    # 4-cycle
+    lambda x, y, z, w: [(x, EX.p, y), (y, EX.p, z), (z, EX.p, w), (w, EX.p, x)],
+    # triangle + pendant edge (still cyclic after ear removal)
+    lambda x, y, z, w: [
+        (x, EX.p, y),
+        (y, EX.p, z),
+        (z, EX.p, x),
+        (x, EX.q, w),
+    ],
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    edges=edges,
+    shape=st.sampled_from(_CYCLIC_SHAPES),
+    filter_conditions=conditions,
+)
+def test_differential_cyclic_bgps(edges, shape, filter_conditions):
+    """Cyclic BGPs: leapfrog, binary-join and decoded pipelines agree.
+
+    The default encoded-backend evaluator lowers these shapes to the
+    LeapfrogJoin operator, so this property differentially pins the WCOJ
+    implementation against every pre-existing pipeline.
+    """
+    from repro.sparql.algebra import BGP, Filter, ProjectionItem, SelectQuery
+
+    triples = [Triple(*edge) for edge in edges]
+    x, y, z = _VARIABLES
+    w = Variable("w")
+    node = BGP(tuple(tp(*parts) for parts in shape(x, y, z, w)))
     pattern_node = node
     for filter_condition in filter_conditions:
         pattern_node = Filter(pattern_node, filter_condition)

@@ -1,0 +1,488 @@
+"""Tests for the physical operator layer (:mod:`repro.sparql.physical`).
+
+Four angles on the logical-plan → physical-DAG lowering:
+
+* unit tests for the analysis primitives — GYO cyclicity detection and
+  the leapfrog sorted-intersection kernel,
+* golden ``explain()`` renderings for the canonical BGP shapes (star,
+  chain, triangle, path-bearing, filtered) on both backends, pinning
+  which operator the lowering picks and how the tree reads,
+* behavioural tests: leapfrog-vs-binary multiset parity, eligibility
+  fallbacks (variable predicates, repeated variables, too few patterns,
+  term-only backends), per-operator row/probe counters, and the
+  evaluator's plan-cache dead-entry purge,
+* differential tests for the extended FILTER pushdown: OPTIONAL-scoped
+  conditions and FILTER-over-MINUS agree with the pushdown-disabled
+  baseline.
+"""
+
+from collections import Counter
+
+import gc
+
+import pytest
+
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.terms import Triple, Variable
+from repro.sparql import physical
+from repro.sparql.algebra import TriplePatternNode
+from repro.sparql.evaluator import SparqlEvaluator
+from repro.sparql.parser import parse_query
+from repro.sparql.physical import (
+    IndexNestedLoopJoin,
+    LeapfrogJoin,
+    LoweringOptions,
+    PathExpand,
+    Scan,
+    _leapfrog_intersect,
+    is_cyclic,
+    lower_bgp,
+    supports_leapfrog,
+)
+from repro.sparql.plan import plan_bgp
+from repro.store import EncodedGraph
+
+from tests.helpers import EX
+
+PREFIX = "PREFIX ex: <http://ex.org/>\n"
+
+
+def tp(subject, predicate, obj):
+    return TriplePatternNode(Triple(subject, predicate, obj))
+
+
+def _vars(*names):
+    return [Variable(name) for name in names]
+
+
+# ----------------------------------------------------------------------
+# GYO cyclicity detection
+# ----------------------------------------------------------------------
+class TestIsCyclic:
+    def test_triangle_is_cyclic(self):
+        a, b, c = _vars("a", "b", "c")
+        assert is_cyclic([{a, b}, {b, c}, {c, a}])
+
+    def test_chain_is_acyclic(self):
+        a, b, c, d = _vars("a", "b", "c", "d")
+        assert not is_cyclic([{a, b}, {b, c}, {c, d}])
+
+    def test_star_is_acyclic(self):
+        s, a, b, c = _vars("s", "a", "b", "c")
+        assert not is_cyclic([{s, a}, {s, b}, {s, c}])
+
+    def test_four_cycle_is_cyclic(self):
+        a, b, c, d = _vars("a", "b", "c", "d")
+        assert is_cyclic([{a, b}, {b, c}, {c, d}, {d, a}])
+
+    def test_triangle_with_pendant_ear_is_cyclic(self):
+        # Ear removal strips {a, w} but the triangle core remains stuck.
+        a, b, c, w = _vars("a", "b", "c", "w")
+        assert is_cyclic([{a, b}, {b, c}, {c, a}, {a, w}])
+
+    def test_subset_edge_is_absorbed(self):
+        # {a, b} ⊆ {a, b, c}: GYO removes it, leaving an acyclic rest.
+        a, b, c = _vars("a", "b", "c")
+        assert not is_cyclic([{a, b, c}, {a, b}, {b, c}])
+
+    def test_disconnected_edges_are_acyclic(self):
+        a, b, c, d = _vars("a", "b", "c", "d")
+        assert not is_cyclic([{a, b}, {c, d}])
+
+    def test_trivial_inputs(self):
+        a, b = _vars("a", "b")
+        assert not is_cyclic([])
+        assert not is_cyclic([{a, b}])
+        assert not is_cyclic([{a, b}, {a, b}])
+
+
+# ----------------------------------------------------------------------
+# leapfrog sorted intersection
+# ----------------------------------------------------------------------
+class TestLeapfrogIntersect:
+    def test_no_arrays_yields_nothing(self):
+        assert list(_leapfrog_intersect([])) == []
+
+    def test_single_array_yields_all(self):
+        assert list(_leapfrog_intersect([[1, 4, 9]])) == [1, 4, 9]
+
+    def test_empty_member_short_circuits(self):
+        assert list(_leapfrog_intersect([[1, 2, 3], []])) == []
+
+    def test_pairwise_intersection(self):
+        assert list(_leapfrog_intersect([[1, 3, 5, 7], [2, 3, 6, 7]])) == [3, 7]
+
+    def test_three_way_intersection(self):
+        arrays = [[1, 2, 3, 4, 5], [2, 4, 6, 8], [4, 5, 6, 7]]
+        assert list(_leapfrog_intersect(arrays)) == [4]
+
+    def test_disjoint_arrays(self):
+        assert list(_leapfrog_intersect([[1, 3], [2, 4]])) == []
+
+    def test_identical_arrays(self):
+        assert list(_leapfrog_intersect([[2, 5, 8], [2, 5, 8], [2, 5, 8]])) == [2, 5, 8]
+
+    def test_skewed_galloping(self):
+        wide = list(range(0, 10_000, 3))
+        assert list(_leapfrog_intersect([wide, [9, 27, 5000, 9998]])) == [9, 27]
+
+
+# ----------------------------------------------------------------------
+# golden explain() renderings
+# ----------------------------------------------------------------------
+_TRIPLES = [
+    Triple(EX.s1, EX.p, EX.a),
+    Triple(EX.s1, EX.q, EX.b),
+    Triple(EX.s1, EX.r, EX.c),
+    Triple(EX.s2, EX.p, EX.a),
+    Triple(EX.s2, EX.q, EX.b),
+    Triple(EX.a, EX.p, EX.b),
+    Triple(EX.b, EX.p, EX.c),
+    Triple(EX.c, EX.p, EX.a),
+]
+
+_STAR = PREFIX + "SELECT * WHERE { ?s ex:p ?a . ?s ex:q ?b . ?s ex:r ?c }"
+_CHAIN = PREFIX + "SELECT * WHERE { ?a ex:p ?b . ?b ex:q ?c }"
+_TRIANGLE = PREFIX + "SELECT * WHERE { ?a ex:p ?b . ?b ex:p ?c . ?c ex:p ?a }"
+_PATH = PREFIX + "SELECT * WHERE { ?a ex:p ?b . ?b ex:q+ ?c }"
+_FILTERED_TRIANGLE = (
+    PREFIX
+    + "SELECT * WHERE { ?a ex:p ?b . ?b ex:p ?c . ?c ex:p ?a . FILTER(?a != ?b) }"
+)
+
+_GOLDEN = {
+    ("term", _STAR): """\
+Project [?a, ?b, ?c, ?s] decode=term
+└─ IndexNestedLoopJoin steps=3
+   ├─ Scan TP(?s <http://ex.org/r> ?c) est=1
+   ├─ Scan TP(?s <http://ex.org/p> ?a) est=1
+   └─ Scan TP(?s <http://ex.org/q> ?b) est=1""",
+    ("term", _CHAIN): """\
+Project [?a, ?b, ?c] decode=term
+└─ IndexNestedLoopJoin steps=2
+   ├─ Scan TP(?b <http://ex.org/q> ?c) est=2
+   └─ Scan TP(?a <http://ex.org/p> ?b) est=1.66667""",
+    ("term", _TRIANGLE): """\
+Project [?a, ?b, ?c] decode=term
+└─ IndexNestedLoopJoin steps=3
+   ├─ Scan TP(?a <http://ex.org/p> ?b) est=5
+   ├─ Scan TP(?b <http://ex.org/p> ?c) est=1
+   └─ Scan TP(?c <http://ex.org/p> ?a) est=0.333333""",
+    ("term", _PATH): """\
+Project [?a, ?b, ?c] decode=term
+└─ IndexNestedLoopJoin steps=2
+   ├─ Scan TP(?a <http://ex.org/p> ?b) est=5
+   └─ PathExpand[term] Path(?b OneOrMore(Link(http://ex.org/q)) ?c) est=1.6""",
+    ("term", _FILTERED_TRIANGLE): """\
+Project [?a, ?b, ?c] decode=term
+└─ IndexNestedLoopJoin steps=3
+   ├─ Filter (?a != ?b)
+   │  └─ Scan TP(?a <http://ex.org/p> ?b) est=5
+   ├─ Scan TP(?b <http://ex.org/p> ?c) est=1
+   └─ Scan TP(?c <http://ex.org/p> ?a) est=0.333333""",
+    ("id", _STAR): """\
+Project [?a, ?b, ?c, ?s] decode=id
+└─ IndexNestedLoopJoin steps=3
+   ├─ Scan TP(?s <http://ex.org/r> ?c) est=1
+   ├─ Scan TP(?s <http://ex.org/p> ?a) est=1
+   └─ Scan TP(?s <http://ex.org/q> ?b) est=1""",
+    ("id", _CHAIN): """\
+Project [?a, ?b, ?c] decode=id
+└─ IndexNestedLoopJoin steps=2
+   ├─ Scan TP(?b <http://ex.org/q> ?c) est=2
+   └─ Scan TP(?a <http://ex.org/p> ?b) est=1.66667""",
+    ("id", _TRIANGLE): """\
+Project [?a, ?b, ?c] decode=id
+└─ LeapfrogJoin order=[?a, ?b, ?c]
+   ├─ Scan TP(?a <http://ex.org/p> ?b) est=5
+   ├─ Scan TP(?b <http://ex.org/p> ?c) est=1
+   └─ Scan TP(?c <http://ex.org/p> ?a) est=0.333333""",
+    ("id", _PATH): """\
+Project [?a, ?b, ?c] decode=id
+└─ IndexNestedLoopJoin steps=2
+   ├─ Scan TP(?a <http://ex.org/p> ?b) est=5
+   └─ PathExpand[id] Path(?b OneOrMore(Link(http://ex.org/q)) ?c) est=1.6""",
+    ("id", _FILTERED_TRIANGLE): """\
+Project [?a, ?b, ?c] decode=id
+└─ LeapfrogJoin order=[?a, ?b, ?c] filters=[(?a != ?b)@?b]
+   ├─ Scan TP(?a <http://ex.org/p> ?b) est=5
+   ├─ Scan TP(?b <http://ex.org/p> ?c) est=1
+   └─ Scan TP(?c <http://ex.org/p> ?a) est=0.333333""",
+}
+
+
+@pytest.mark.parametrize("backend", [Graph, EncodedGraph], ids=["term", "id"])
+@pytest.mark.parametrize(
+    "query_text",
+    [_STAR, _CHAIN, _TRIANGLE, _PATH, _FILTERED_TRIANGLE],
+    ids=["star", "chain", "triangle", "path", "filtered-triangle"],
+)
+def test_golden_explain(backend, query_text):
+    evaluator = SparqlEvaluator(Dataset.from_graph(backend(_TRIPLES)))
+    space = "id" if backend is EncodedGraph else "term"
+    rendered = evaluator.explain(parse_query(query_text))
+    assert rendered == _GOLDEN[(space, query_text)]
+    assert evaluator.last_physical_plan is not None
+    assert evaluator.last_physical_plan.space == space
+
+
+def test_explain_rejects_unplanned_patterns():
+    evaluator = SparqlEvaluator(Dataset.from_graph(Graph(_TRIPLES)))
+    query = parse_query(
+        PREFIX + "SELECT * WHERE { { ?s ex:p ?o } UNION { ?s ex:q ?o } }"
+    )
+    with pytest.raises(Exception):
+        evaluator.explain(query)
+
+
+# ----------------------------------------------------------------------
+# operator selection and fallbacks
+# ----------------------------------------------------------------------
+def _triangle_patterns():
+    a, b, c = _vars("a", "b", "c")
+    return [tp(a, EX.p, b), tp(b, EX.p, c), tp(c, EX.p, a)]
+
+
+class TestOperatorSelection:
+    def test_encoded_graph_supports_leapfrog_surface(self):
+        assert supports_leapfrog(EncodedGraph())
+        assert not supports_leapfrog(Graph())
+
+    def test_triangle_selects_leapfrog_on_encoded(self):
+        graph = EncodedGraph(_TRIPLES)
+        plan = lower_bgp(graph, _triangle_patterns())
+        assert isinstance(plan.root.child, LeapfrogJoin)
+
+    def test_triangle_stays_binary_on_term_backend(self):
+        graph = Graph(_TRIPLES)
+        plan = lower_bgp(graph, _triangle_patterns())
+        assert isinstance(plan.root.child, IndexNestedLoopJoin)
+
+    def test_wcoj_option_off_pins_binary_join(self):
+        graph = EncodedGraph(_TRIPLES)
+        plan = lower_bgp(
+            graph, _triangle_patterns(), options=LoweringOptions(wcoj=False)
+        )
+        assert isinstance(plan.root.child, IndexNestedLoopJoin)
+
+    def test_acyclic_bgp_stays_binary(self):
+        graph = EncodedGraph(_TRIPLES)
+        a, b, c = _vars("a", "b", "c")
+        plan = lower_bgp(graph, [tp(a, EX.p, b), tp(b, EX.q, c)])
+        assert isinstance(plan.root.child, IndexNestedLoopJoin)
+
+    def test_variable_predicate_disqualifies_leapfrog(self):
+        graph = EncodedGraph(_TRIPLES)
+        a, b, c, p = _vars("a", "b", "c", "p")
+        plan = lower_bgp(graph, [tp(a, p, b), tp(b, EX.p, c), tp(c, EX.p, a)])
+        assert isinstance(plan.root.child, IndexNestedLoopJoin)
+
+    def test_repeated_variable_in_pattern_disqualifies_leapfrog(self):
+        graph = EncodedGraph(_TRIPLES)
+        a, b, c = _vars("a", "b", "c")
+        plan = lower_bgp(
+            graph, [tp(a, EX.p, a), tp(a, EX.p, b), tp(b, EX.p, c), tp(c, EX.p, a)]
+        )
+        assert isinstance(plan.root.child, IndexNestedLoopJoin)
+
+    def test_two_patterns_never_leapfrog(self):
+        graph = EncodedGraph(_TRIPLES)
+        a, b = _vars("a", "b")
+        plan = lower_bgp(graph, [tp(a, EX.p, b), tp(b, EX.p, a)])
+        assert isinstance(plan.root.child, IndexNestedLoopJoin)
+
+    def test_id_execution_off_lowers_to_term_space(self):
+        graph = EncodedGraph(_TRIPLES)
+        plan = lower_bgp(
+            graph,
+            _triangle_patterns(),
+            options=LoweringOptions(id_execution=False),
+        )
+        assert plan.space == "term"
+        assert isinstance(plan.root.child, IndexNestedLoopJoin)
+
+
+# ----------------------------------------------------------------------
+# leapfrog-vs-binary parity and counters
+# ----------------------------------------------------------------------
+class TestExecution:
+    def _clique(self, size=6):
+        nodes = [EX[f"n{index}"] for index in range(size)]
+        triples = [
+            Triple(left, EX.p, right)
+            for left in nodes
+            for right in nodes
+            if left != right
+        ]
+        return EncodedGraph(triples)
+
+    def test_leapfrog_matches_binary_on_clique(self):
+        graph = self._clique()
+        patterns = _triangle_patterns()
+        leapfrog = lower_bgp(graph, patterns)
+        binary = lower_bgp(graph, patterns, options=LoweringOptions(wcoj=False))
+        assert isinstance(leapfrog.root.child, LeapfrogJoin)
+        assert isinstance(binary.root.child, IndexNestedLoopJoin)
+        left = Counter(map(str, physical.execute(leapfrog, graph)))
+        right = Counter(map(str, physical.execute(binary, graph)))
+        assert left == right
+        assert sum(left.values()) == 6 * 5 * 4  # ordered triangles of K6
+
+    def test_counters_populate_after_execution(self):
+        graph = self._clique(4)
+        plan = lower_bgp(graph, _triangle_patterns())
+        list(physical.execute(plan, graph))
+        counters = plan.counters()
+        assert counters[0]["operator"] == "Project"
+        assert counters[0]["rows"] == 4 * 3 * 2
+        by_operator = {entry["operator"] for entry in counters}
+        assert "LeapfrogJoin" in by_operator
+        scan_rows = [
+            entry["probes"] for entry in counters if entry["operator"] == "Scan"
+        ]
+        assert all(probes > 0 for probes in scan_rows)
+        plan.reset_stats()
+        assert all(entry["rows"] == 0 for entry in plan.counters())
+
+    def test_inlj_counters_track_probes_and_rows(self):
+        graph = EncodedGraph(_TRIPLES)
+        a, b = _vars("a", "b")
+        plan = lower_bgp(graph, [tp(a, EX.p, b), tp(b, EX.p, a)])
+        rows = list(physical.execute(plan, graph))
+        counters = {entry["operator"]: entry for entry in plan.counters()}
+        assert counters["Project"]["rows"] == len(rows)
+        assert counters["IndexNestedLoopJoin"]["rows"] == len(rows)
+
+    def test_term_plan_requires_path_evaluator_lazily(self):
+        graph = Graph(_TRIPLES)
+        query = parse_query(_PATH)
+        evaluator = SparqlEvaluator(Dataset.from_graph(graph))
+        evaluator.explain(query)  # rendering alone never executes
+        plan = evaluator.last_physical_plan
+        assert any(
+            isinstance(operator, PathExpand) for operator in plan.operators()
+        )
+        with pytest.raises(TypeError):
+            list(physical.execute(plan, graph))
+
+
+# ----------------------------------------------------------------------
+# plan cache hygiene
+# ----------------------------------------------------------------------
+def test_plan_cache_purges_dead_graph_entries():
+    dataset = Dataset.from_graph(EncodedGraph(_TRIPLES))
+    # use_id_paths=False keeps the path-engine cache (which holds graphs
+    # strongly by design) out of the lifetime picture.
+    evaluator = SparqlEvaluator(dataset, use_id_paths=False)
+    query = parse_query(PREFIX + "SELECT * WHERE { ?s ex:p ?o . ?o ex:p ?t }")
+
+    transient = EncodedGraph(_TRIPLES)
+    list(
+        evaluator._eval_pattern_stream(
+            parse_query(
+                PREFIX + "SELECT * WHERE { ?s ex:q ?o . ?o ex:p ?t }"
+            ).pattern,
+            transient,
+            dataset,
+        )
+    )
+    assert any(
+        reference() is transient for reference, _ in evaluator._plan_cache.values()
+    )
+    del transient
+    gc.collect()
+
+    # The next miss sweeps every entry whose graph has been collected.
+    list(evaluator.evaluate(query).rows())
+    assert all(
+        reference() is not None for reference, _ in evaluator._plan_cache.values()
+    )
+    assert len(evaluator._plan_cache) == 1
+
+
+# ----------------------------------------------------------------------
+# extended FILTER pushdown: OPTIONAL and MINUS
+# ----------------------------------------------------------------------
+_PUSHDOWN_TRIPLES = [
+    Triple(EX.s1, EX.p, EX.a),
+    Triple(EX.s2, EX.p, EX.b),
+    Triple(EX.s3, EX.p, EX.c),
+    Triple(EX.a, EX.q, EX.v1),
+    Triple(EX.a, EX.q, EX.v2),
+    Triple(EX.b, EX.q, EX.v2),
+    Triple(EX.s1, EX.r, EX.x),
+    Triple(EX.s2, EX.r, EX.v1),
+]
+
+_PUSHDOWN_QUERIES = [
+    # OPTIONAL condition over the right-side variables only: pushable.
+    PREFIX
+    + "SELECT * WHERE { ?s ex:p ?o OPTIONAL { ?o ex:q ?v FILTER(?v != ex:v2) } }",
+    # Multi-pattern OPTIONAL right side with a pushable conjunct and a
+    # cross-side conjunct that must stay residual.
+    PREFIX
+    + "SELECT * WHERE { ?s ex:p ?o OPTIONAL { ?o ex:q ?v . ?s ex:r ?w"
+    + " FILTER(?v != ex:v2 && ?w != ?o) } }",
+    # FILTER scoped over a MINUS: pushes into the left-side pipeline.
+    PREFIX
+    + "SELECT * WHERE { ?s ex:p ?o . MINUS { ?s ex:r ?x } FILTER(?o != ex:a) }",
+    # FILTER both inside the MINUS left group and over the whole group.
+    PREFIX
+    + "SELECT * WHERE { { ?s ex:p ?o . FILTER(isIRI(?o)) } MINUS { ?s ex:r ?x }"
+    + " FILTER(?o != ex:b) }",
+    # Empty filtered-left short-circuit: the right side is never needed.
+    PREFIX
+    + "SELECT * WHERE { ?s ex:p ?o . MINUS { ?s ex:r ?x } FILTER(?o = ex:nothing) }",
+]
+
+
+@pytest.mark.parametrize("backend", [Graph, EncodedGraph], ids=["term", "id"])
+@pytest.mark.parametrize(
+    "query_text",
+    _PUSHDOWN_QUERIES,
+    ids=["optional", "optional-partial", "minus", "minus-nested", "minus-empty"],
+)
+def test_extended_pushdown_matches_baseline(backend, query_text):
+    dataset = Dataset.from_graph(backend(_PUSHDOWN_TRIPLES))
+    pushdown = SparqlEvaluator(dataset)
+    baseline = SparqlEvaluator(
+        dataset, use_id_execution=False, use_filter_pushdown=False
+    )
+    query = parse_query(query_text)
+    assert Counter(pushdown.evaluate(query).rows()) == Counter(
+        baseline.evaluate(query).rows()
+    )
+
+
+def test_optional_pushdown_keeps_unmatched_left_rows():
+    # ?s3's object ?c has no ex:q edge: the OPTIONAL must keep the bare
+    # left row whether or not the condition was pushed into the right BGP.
+    dataset = Dataset.from_graph(EncodedGraph(_PUSHDOWN_TRIPLES))
+    evaluator = SparqlEvaluator(dataset)
+    query = parse_query(
+        PREFIX
+        + "SELECT ?s ?v WHERE { ?s ex:p ?o OPTIONAL { ?o ex:q ?v"
+        + " FILTER(?v != ex:v2) } }"
+    )
+    rows = Counter(evaluator.evaluate(query).rows())
+    assert rows == Counter(
+        {
+            (EX.s1, EX.v1): 1,  # v2 filtered away, v1 survives
+            (EX.s2, None): 1,  # only v2 matched: left row kept bare
+            (EX.s3, None): 1,  # no ex:q edge at all
+        }
+    )
+
+
+def test_minus_pushdown_streams_into_left_pipeline():
+    dataset = Dataset.from_graph(EncodedGraph(_PUSHDOWN_TRIPLES))
+    evaluator = SparqlEvaluator(dataset)
+    query = parse_query(
+        PREFIX
+        + "SELECT ?s ?o WHERE { ?s ex:p ?o . MINUS { ?s ex:r ?x } FILTER(?o != ex:a) }"
+    )
+    rows = Counter(evaluator.evaluate(query).rows())
+    # s1 filtered (o = a), s2 removed by MINUS (has ex:r), s3 survives.
+    assert rows == Counter({(EX.s3, EX.c): 1})
+    # The filtered BGP ran through the physical pipeline.
+    assert evaluator.last_physical_plan is not None
