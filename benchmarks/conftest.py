@@ -47,6 +47,17 @@ class BenchMetrics:
         entry.update(extra)
         self.entries.append(entry)
 
+    def record_phases(self, suite: str, test: str, tracer) -> None:
+        """Record a tracer's per-phase totals as ``phase_<name>_seconds``.
+
+        One entry per phase span name (parse / plan / lower / execute):
+        the per-phase wall-time breakdown carried by the trajectory
+        artifact.  Informational — the trajectory gate only enforces the
+        ``speedup_ratio`` metrics.
+        """
+        for name, seconds in sorted(tracer.phase_totals().items()):
+            self.record(suite, test, f"phase_{name}_seconds", seconds, "s")
+
 
 def pytest_configure(config):
     config._repro_bench_metrics = BenchMetrics()

@@ -1,0 +1,159 @@
+"""Benchmark: observability overhead gates and phase-trace recording.
+
+The observability layer must be effectively free when off and cheap when
+on.  On the planner chain-join workload this suite measures three
+evaluator configurations — no tracer, a disabled tracer attached, an
+enabled tracer — and gates:
+
+* disabled tracing <= 3% over the no-tracer baseline (the hot paths are
+  a single ``tracer is None``-style check), and
+* enabled phase tracing <= 10% (a handful of span records per query,
+  never one per row).
+
+Each sample amortises several query evaluations so the 3% margin sits
+well above timer noise; a small absolute floor absorbs the rest on
+machines where the whole sample is sub-millisecond.
+
+The enabled run also records the per-phase wall-time breakdown
+(``phase_parse_seconds`` etc.) through ``bench_metrics.record_phases``,
+so the ``BENCH_<pr>.json`` trajectory artifact carries phase data, and
+checks that the collected trace round-trips through both exporters
+(schema-validated JSON dump, Chrome ``trace_event``).
+"""
+
+import gc
+import time
+from collections import Counter
+
+from repro.obs import Tracer, to_chrome_trace, trace_to_dict, validate_trace
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import Triple
+from repro.sparql.evaluator import SparqlEvaluator
+from repro.sparql.parser import parse_query
+
+EX = Namespace("http://ex.org/")
+PREFIX = "PREFIX ex: <http://ex.org/>\n"
+CHAIN_QUERY = (
+    PREFIX
+    + "SELECT ?a WHERE { ?a ex:p ?b . ?b ex:p ?c . ?c ex:p ?d . ?d ex:hit ex:flag }"
+)
+#: The overhead gate joins the full chain (no selective anchor): the
+#: planner cannot collapse it to a few probes, so each evaluation does
+#: real per-row execution work and the ratio measures the asymptotic
+#: overhead, not the fixed per-query span cost.
+ENUM_QUERY = PREFIX + "SELECT ?a WHERE { ?a ex:p ?b . ?b ex:p ?c . ?c ex:p ?d }"
+
+#: Query evaluations per timing sample (amortises per-call noise) and
+#: samples per configuration (best-of, interleaved).
+EVALS_PER_SAMPLE = 3
+SAMPLES = 9
+#: Absolute slack absorbing scheduler/timer noise on sub-ms samples.
+NOISE_FLOOR_SECONDS = 5e-4
+
+
+def _chain_dataset(n_chains: int = 250, length: int = 3) -> Dataset:
+    """The planner bench's gMark-style chain workload, verbatim."""
+    graph = Graph()
+    for i in range(n_chains):
+        for step in range(length):
+            graph.add(Triple(EX[f"c{i}_{step}"], EX.p, EX[f"c{i}_{step + 1}"]))
+    graph.add(Triple(EX[f"c0_{length}"], EX.hit, EX.flag))
+    return Dataset.from_graph(graph)
+
+
+def _sample(evaluator, query, tracer=None) -> float:
+    """One timing sample: EVALS_PER_SAMPLE evaluations, summed."""
+    start = time.perf_counter()
+    for _ in range(EVALS_PER_SAMPLE):
+        evaluator.evaluate(query)
+    elapsed = time.perf_counter() - start
+    if tracer is not None:
+        # Keep the span list from growing across samples; timing above
+        # already includes the recording cost we are measuring.
+        tracer.clear()
+    return elapsed
+
+
+def test_bench_obs_overhead(bench_metrics):
+    """Acceptance gate: disabled tracing <= 3%, enabled tracing <= 10%.
+
+    Scaled past the planner bench's chain so per-query work dwarfs the
+    per-query *fixed* tracing cost (a handful of span records) and the
+    ratio measures the real asymptotic overhead.
+    """
+    dataset = _chain_dataset(n_chains=400)
+    query = parse_query(ENUM_QUERY)
+    baseline_ev = SparqlEvaluator(dataset)
+    disabled_ev = SparqlEvaluator(dataset, tracer=Tracer("bench", enabled=False))
+    enabled_tracer = Tracer("bench")
+    enabled_ev = SparqlEvaluator(dataset, tracer=enabled_tracer)
+
+    # Results must be identical regardless of observability configuration.
+    expected = Counter(baseline_ev.evaluate(query).rows())
+    assert Counter(disabled_ev.evaluate(query).rows()) == expected
+    assert Counter(enabled_ev.evaluate(query).rows()) == expected
+    enabled_tracer.clear()
+
+    baseline = disabled = enabled = float("inf")
+    # Interleave the configurations so drift (thermal, allocator state)
+    # hits them alike, and keep the collector out of the timed regions —
+    # a GC pause landing in one configuration's sample would otherwise
+    # dominate the few-percent margins this gate measures.
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(SAMPLES):
+            baseline = min(baseline, _sample(baseline_ev, query))
+            disabled = min(disabled, _sample(disabled_ev, query))
+            enabled = min(enabled, _sample(enabled_ev, query, enabled_tracer))
+    finally:
+        gc.enable()
+
+    disabled_ratio = disabled / max(baseline, 1e-9)
+    enabled_ratio = enabled / max(baseline, 1e-9)
+    print(
+        f"\nobs overhead: baseline={baseline * 1e3:.2f}ms "
+        f"disabled={disabled * 1e3:.2f}ms ({disabled_ratio:.3f}x) "
+        f"enabled={enabled * 1e3:.2f}ms ({enabled_ratio:.3f}x)"
+    )
+    bench_metrics.record("obs", "chain", "overhead_disabled_ratio", disabled_ratio, "x")
+    bench_metrics.record("obs", "chain", "overhead_enabled_ratio", enabled_ratio, "x")
+    assert disabled_ratio <= 1.03 or disabled - baseline <= NOISE_FLOOR_SECONDS, (
+        f"disabled tracing overhead {disabled_ratio:.3f}x exceeds the 3% gate"
+    )
+    assert enabled_ratio <= 1.10 or enabled - baseline <= NOISE_FLOOR_SECONDS, (
+        f"enabled tracing overhead {enabled_ratio:.3f}x exceeds the 10% gate"
+    )
+
+
+def test_bench_obs_phase_breakdown(bench_metrics):
+    """Record parse/plan/lower/execute wall-time shares into the trajectory."""
+    dataset = _chain_dataset()
+    tracer = Tracer("chain-phases")
+    evaluator = SparqlEvaluator(dataset, tracer=tracer)
+    for _ in range(EVALS_PER_SAMPLE):
+        with tracer.span("parse"):
+            query = parse_query(CHAIN_QUERY)
+        evaluator.evaluate(query)
+    totals = tracer.phase_totals()
+    # plan/lower only run on the first iteration (physical cache hits
+    # after); parse and execute recur every iteration.
+    assert {"parse", "plan", "lower", "execute"} <= set(totals)
+    assert all(seconds >= 0.0 for seconds in totals.values())
+    print(
+        "\nphases: "
+        + " ".join(f"{name}={seconds * 1e3:.2f}ms" for name, seconds in sorted(totals.items()))
+    )
+    bench_metrics.record_phases("obs", "chain", tracer)
+
+    # The collected trace must round-trip through both exporters.
+    payload = trace_to_dict(tracer)
+    assert validate_trace(payload) == []
+    assert any(span["category"] == "operator" for span in payload["spans"])
+    chrome = to_chrome_trace(tracer)
+    assert chrome["traceEvents"], "chrome trace should carry events"
+    assert all(
+        event["ph"] == "X" and event["ts"] >= 0 and event["dur"] >= 0
+        for event in chrome["traceEvents"]
+    )

@@ -120,6 +120,10 @@ class DatalogEngine:
         self.timeout_seconds = timeout_seconds
         self._deadline: Optional[float] = None
         self._fact_count = 0
+        #: Semi-naive delta rounds executed across every stratum of the
+        #: last :meth:`evaluate` call — an observability counter (the
+        #: metrics registry reads it through a callback), not a limit.
+        self.fixpoint_iterations = 0
 
     # ------------------------------------------------------------------
     # public API
@@ -130,6 +134,7 @@ class DatalogEngine:
             time.monotonic() + self.timeout_seconds if self.timeout_seconds else None
         )
         self._fact_count = 0
+        self.fixpoint_iterations = 0
         relations: Dict[str, Relation] = defaultdict(Relation)
         for fact in program.facts:
             values = tuple(self._ground_value(argument) for argument in fact.arguments)
@@ -183,6 +188,7 @@ class DatalogEngine:
             rule for rule in rules if rule.body_predicates() & stratum
         ]
         while any(deltas.values()):
+            self.fixpoint_iterations += 1
             self._check_limits()
             new_deltas: Dict[str, Set[GroundTuple]] = defaultdict(set)
             for rule in recursive_rules:

@@ -48,9 +48,20 @@ def call_with_timeout(function: Callable[[], T], seconds: float) -> T:
         signal.signal(signal.SIGALRM, previous_handler)
 
 
-def time_call(function: Callable[[], T]) -> Tuple[T, float]:
-    """Run ``function`` and return (result, elapsed_seconds)."""
+def time_call(
+    function: Callable[[], T], tracer=None, label: str = "call"
+) -> Tuple[T, float]:
+    """Run ``function`` and return (result, elapsed_seconds).
+
+    With a :class:`repro.obs.tracer.Tracer` attached the measurement is
+    also recorded as a ``harness``-category span named ``label``, so
+    harness-level timings and the evaluator's phase spans land in one
+    trace.  The span is recorded post-hoc (``Tracer.event``) to keep the
+    measured region free of tracer bookkeeping.
+    """
     start = time.perf_counter()
     result = function()
     elapsed = time.perf_counter() - start
+    if tracer is not None and tracer.enabled:
+        tracer.event(label, category="harness", duration=elapsed)
     return result, elapsed

@@ -33,7 +33,9 @@ from __future__ import annotations
 
 import weakref
 from collections import OrderedDict, defaultdict, deque
+from dataclasses import dataclass, field
 from itertools import islice
+from time import perf_counter
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.rdf.graph import Dataset, Graph
@@ -88,10 +90,31 @@ from repro.sparql.paths import (
     normalize_path,
 )
 from repro.sparql.solutions import Binding, EMPTY_BINDING, SolutionSequence
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 
 
 class EvaluationError(RuntimeError):
     """Raised when a query cannot be evaluated (unsupported construct)."""
+
+
+@dataclass
+class ExplainAnalyzeReport:
+    """Result of :meth:`SparqlEvaluator.explain_analyze`.
+
+    ``text`` is the rendered operator tree (what ``str(report)`` gives);
+    ``plan`` keeps the executed :class:`~repro.sparql.physical.PhysicalPlan`
+    so callers can inspect :meth:`~repro.sparql.physical.PhysicalPlan.analysis`
+    programmatically.
+    """
+
+    text: str
+    plan: "physical.PhysicalPlan" = field(repr=False)
+    total_seconds: float = 0.0
+    rows: int = 0
+
+    def __str__(self) -> str:
+        return self.text
 
 
 class SparqlEvaluator:
@@ -108,6 +131,7 @@ class SparqlEvaluator:
         use_filter_pushdown: bool = True,
         use_id_paths: bool = True,
         use_wcoj: bool = True,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.dataset = dataset
         self.use_planner = use_planner
@@ -154,8 +178,81 @@ class SparqlEvaluator:
         self._physical_cache: "OrderedDict[Tuple, Tuple[weakref.ref, physical.PhysicalPlan]]" = (
             OrderedDict()
         )
-        self.plan_cache_hits = 0
-        self.plan_cache_misses = 0
+        # Optional span tracer: when attached (and enabled) the evaluator
+        # opens plan / lower / execute phase spans and samples per-operator
+        # summaries at stream exhaustion.  ``None`` keeps the hot paths on
+        # a single identity check.
+        self.tracer = tracer
+        # Metrics registry: cache traffic counts as plain slotted-counter
+        # increments, live sizes as collection-time callbacks.  Exposed
+        # for store binding (bind_store_metrics) and Prometheus rendering;
+        # :meth:`metrics` snapshots it.
+        self.metrics_registry = MetricsRegistry()
+        registry = self.metrics_registry
+        self._logical_plan_hits = registry.counter(
+            "sparql_plan_cache_hits_total", "Logical BGP plan cache hits"
+        )
+        self._logical_plan_misses = registry.counter(
+            "sparql_plan_cache_misses_total",
+            "Logical BGP plans built fresh (cache misses)",
+        )
+        self._physical_plan_hits = registry.counter(
+            "sparql_physical_cache_hits_total", "Lowered physical plan cache hits"
+        )
+        self._physical_plan_misses = registry.counter(
+            "sparql_physical_cache_misses_total",
+            "Physical plans lowered fresh (cache misses)",
+        )
+        self._cache_evictions = registry.counter(
+            "sparql_plan_cache_evictions_total",
+            "Plan/physical cache entries evicted (LRU overflow or dead graph)",
+        )
+        self._wcoj_fallbacks = registry.counter(
+            "sparql_wcoj_fallback_total",
+            "GYO-cyclic BGPs where WCOJ selection was structurally rejected",
+        )
+        registry.gauge(
+            "sparql_plan_cache_size",
+            "Live logical plan cache entries",
+            callback=lambda: len(self._plan_cache),
+        )
+        registry.gauge(
+            "sparql_physical_cache_size",
+            "Live physical plan cache entries",
+            callback=lambda: len(self._physical_cache),
+        )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def plan_cache_hits(self) -> int:
+        """Deprecated alias for the cache-hit counters (combined).
+
+        A physical-cache hit subsumes the logical lookup, so this keeps
+        the historical meaning — "evaluations that skipped planning" —
+        as logical plus physical hits.  Prefer :meth:`metrics` for the
+        split counters.
+        """
+        return self._logical_plan_hits.value + self._physical_plan_hits.value
+
+    @property
+    def plan_cache_misses(self) -> int:
+        """Deprecated alias for logical plans built fresh.
+
+        Prefer :meth:`metrics`, which also exposes the physical-cache
+        miss count this alias never covered.
+        """
+        return self._logical_plan_misses.value
+
+    def metrics(self) -> Dict[str, object]:
+        """Snapshot every registered metric (cache traffic, sizes, ...).
+
+        Plain dict keyed by metric name; store-level counters appear here
+        too once bound via
+        :func:`repro.obs.metrics.bind_store_metrics`.
+        """
+        return self.metrics_registry.snapshot()
 
     # ------------------------------------------------------------------
     # public API
@@ -164,8 +261,17 @@ class SparqlEvaluator:
         """Evaluate a parsed query.
 
         SELECT queries return a :class:`SolutionSequence`; ASK queries
-        return a boolean.
+        return a boolean.  With a :attr:`tracer` attached, the whole
+        evaluation runs inside a ``query``-category span; the plan /
+        lower / execute phase spans nest under it.
         """
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("evaluate", category="query", form=type(query).__name__):
+                return self._dispatch(query)
+        return self._dispatch(query)
+
+    def _dispatch(self, query: Query) -> Union[SolutionSequence, bool]:
         if isinstance(query, SelectQuery):
             return self._evaluate_select(query)
         if isinstance(query, AskQuery):
@@ -246,7 +352,14 @@ class SparqlEvaluator:
             and query.having is None
         )
         if can_short_circuit:
-            return list(islice(stream, (query.offset or 0) + query.limit))
+            results = list(islice(stream, (query.offset or 0) + query.limit))
+            # Close the abandoned tail deterministically: the pipeline's
+            # finally blocks flush their batched counters (and any open
+            # trace span finishes) now, not at garbage collection.
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
+            return results
         return list(stream)
 
     def _evaluate_ask(self, query: AskQuery) -> bool:
@@ -254,7 +367,14 @@ class SparqlEvaluator:
         stream = self._eval_pattern_stream(
             query.pattern, dataset.default_graph, dataset
         )
-        return next(iter(stream), None) is not None
+        try:
+            return next(iter(stream), None) is not None
+        finally:
+            # As in the LIMIT short-circuit: flush the pipeline's batched
+            # counters by closing the stream instead of waiting for GC.
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
 
     # ------------------------------------------------------------------
     # graph pattern evaluation
@@ -415,9 +535,10 @@ class SparqlEvaluator:
         options and the graph statistics, so lowered plans are cached
         under the same version-stamp discipline as logical plans.  A hit
         here counts as a plan-cache hit: it subsumes the logical lookup.
-        Cached plans keep their operator counters across reuses — the
-        documented ``OperatorStats`` accumulation semantics; callers who
-        want per-execution numbers call ``reset_stats()`` themselves.
+        Cached plans share their ``OperatorStats`` objects, but the
+        executor resets them at the start of every execution, so each run
+        reports its own counters (``execute(..., reset_stats=False)``
+        opts back into accumulation).
         """
         version = getattr(active_graph, "version", None)
         key = None
@@ -442,16 +563,36 @@ class SparqlEvaluator:
                 # key on the hot path, so eviction is insertion-ordered —
                 # fine for a cache that exists to amortise repeat queries.
                 if graph_ref() is active_graph:
-                    self.plan_cache_hits += 1
+                    self._physical_plan_hits.inc()
                     self.last_physical_plan = physical_plan
                     return physical_plan
-        plan = self._bgp_plan(node, active_graph)
-        physical_plan = physical.lower_plan(
-            plan,
-            active_graph,
-            conditions=conditions,
-            options=self._lowering_options(),
-        )
+        self._physical_plan_misses.inc()
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("plan"):
+                plan = self._bgp_plan(node, active_graph)
+            with tracer.span("lower") as span:
+                physical_plan = physical.lower_plan(
+                    plan,
+                    active_graph,
+                    conditions=conditions,
+                    options=self._lowering_options(),
+                )
+                span.annotate(space=physical_plan.space)
+                if physical_plan.wcoj_fallback is not None:
+                    span.annotate(wcoj_fallback=physical_plan.wcoj_fallback)
+        else:
+            plan = self._bgp_plan(node, active_graph)
+            physical_plan = physical.lower_plan(
+                plan,
+                active_graph,
+                conditions=conditions,
+                options=self._lowering_options(),
+            )
+        if physical_plan.wcoj_fallback is not None:
+            # Counted per fresh lowering, not per execution: the physical
+            # cache replays the same decision without re-analysing it.
+            self._wcoj_fallbacks.inc()
         if key is not None:
             cache = self._physical_cache
             dead = [
@@ -461,9 +602,11 @@ class SparqlEvaluator:
             ]
             for stale_key in dead:
                 del cache[stale_key]
+            self._cache_evictions.inc(len(dead))
             cache[key] = (weakref.ref(active_graph), physical_plan)
             if len(cache) > self.PLAN_CACHE_SIZE:
                 cache.popitem(last=False)
+                self._cache_evictions.inc()
         self.last_physical_plan = physical_plan
         return physical_plan
 
@@ -489,12 +632,53 @@ class SparqlEvaluator:
             if physical_plan.space == "id" and self.use_id_paths
             else None
         )
-        return physical.execute(
+        stream = physical.execute(
             physical_plan,
             active_graph,
             path_evaluator=self._eval_path_pattern,
             path_engine=engine,
         )
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return self._traced_execution(physical_plan, stream, tracer)
+        return stream
+
+    def _traced_execution(
+        self,
+        physical_plan: physical.PhysicalPlan,
+        stream: Iterator[Binding],
+        tracer: Tracer,
+    ) -> Iterator[Binding]:
+        """Wrap a BGP execution stream in an ``execute`` span.
+
+        The span covers first ``next()`` to exhaustion (or close: LIMIT /
+        ASK short-circuits still finish it, via ``GeneratorExit``), and
+        per-operator summaries are sampled once at stream exit as
+        zero-duration events from the counters the batched flush points
+        just populated — a handful of span records per query, never one
+        per row.
+        """
+        with tracer.span("execute", space=physical_plan.space) as span:
+            rows = 0
+            try:
+                for binding in stream:
+                    rows += 1
+                    yield binding
+            finally:
+                span.annotate(rows=rows)
+                if physical_plan.wcoj_fallback is not None:
+                    span.annotate(wcoj_fallback=physical_plan.wcoj_fallback)
+                # Sample raw stats directly — describe() renders pattern
+                # strings, far too costly for a per-execution hook.
+                for operator in physical_plan.operators():
+                    stats = operator.stats
+                    tracer.event(
+                        type(operator).__name__,
+                        category="operator",
+                        duration=stats.seconds,
+                        rows=stats.rows,
+                        probes=stats.probes,
+                    )
 
     def explain(self, query: Query) -> str:
         """Render the physical operator plan for a query's pattern.
@@ -521,6 +705,68 @@ class SparqlEvaluator:
         )
         return physical_plan.explain()
 
+    def explain_analyze(self, query: Union[str, Query]) -> ExplainAnalyzeReport:
+        """Execute a query's planned BGP and render the measured plan.
+
+        Accepts a query string (parsed here, under a ``parse`` span when
+        a tracer is attached) or a parsed query; supports the same shapes
+        as :meth:`explain` — a planned BGP, optionally FILTER-wrapped.
+        The plan executes with per-operator timing enabled
+        (``execute(..., timed=True)``) and the stream is drained fully,
+        so the report shows wall time, actual rows/probes, and the
+        estimated-vs-actual cardinality error per operator — errors
+        beyond 10x in either direction are flagged ``!``.  ``str()`` of
+        the report is the rendered tree; the executed plan rides along
+        for programmatic inspection.
+        """
+        if isinstance(query, str):
+            from repro.sparql.parser import parse_query
+
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                with tracer.span("parse"):
+                    query = parse_query(query)
+            else:
+                query = parse_query(query)
+        conditions: List[Expression] = []
+        pattern: GraphPatternNode = query.pattern
+        while isinstance(pattern, Filter):
+            conditions.extend(conjuncts(pattern.condition))
+            pattern = pattern.pattern
+        pattern = self._as_bgp(pattern)
+        if not isinstance(pattern, BGP) or not self._plannable_bgp(pattern):
+            raise EvaluationError(
+                "explain_analyze() supports planned BGPs (optionally "
+                f"FILTER-wrapped); got {type(pattern).__name__}"
+            )
+        dataset = self._active_dataset(query.dataset_clauses)
+        active_graph = dataset.default_graph
+        physical_plan = self._lower_bgp(pattern, active_graph, tuple(conditions))
+        engine = (
+            self._id_path_engine(active_graph)
+            if physical_plan.space == "id" and self.use_id_paths
+            else None
+        )
+        stream = physical.execute(
+            physical_plan,
+            active_graph,
+            path_evaluator=self._eval_path_pattern,
+            path_engine=engine,
+            timed=True,
+        )
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            stream = self._traced_execution(physical_plan, stream, tracer)
+        started = perf_counter()
+        rows = sum(1 for _ in stream)
+        total_seconds = perf_counter() - started
+        return ExplainAnalyzeReport(
+            text=physical_plan.explain_analyze(total_seconds=total_seconds),
+            plan=physical_plan,
+            total_seconds=total_seconds,
+            rows=rows,
+        )
+
     def _bgp_plan(self, node: BGP, active_graph: Graph) -> BGPPlan:
         """Return a (possibly cached) join plan for the BGP.
 
@@ -545,10 +791,10 @@ class SparqlEvaluator:
             # entry only counts as a hit while the weakly-held graph that
             # produced it is still the graph being queried.
             if graph_ref() is active_graph:
-                self.plan_cache_hits += 1
+                self._logical_plan_hits.inc()
                 cache.move_to_end(key)
                 return plan
-        self.plan_cache_misses += 1
+        self._logical_plan_misses.inc()
         # A miss is the cheap moment to drop entries whose graph has been
         # collected: they can never hit again (the weakref is dead) yet
         # would otherwise squat in the LRU until SIZE evictions push them
@@ -560,10 +806,12 @@ class SparqlEvaluator:
         ]
         for stale_key in dead:
             del cache[stale_key]
+        self._cache_evictions.inc(len(dead))
         plan = plan_bgp(active_graph, node.patterns)
         cache[key] = (weakref.ref(active_graph), plan)
         if len(cache) > self.PLAN_CACHE_SIZE:
             cache.popitem(last=False)
+            self._cache_evictions.inc()
         return plan
 
     def _eval_pattern_stream(

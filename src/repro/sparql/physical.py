@@ -44,8 +44,10 @@ ordering, so join ordering is no longer forked per engine.
 
 from __future__ import annotations
 
+import logging
 from bisect import bisect_left
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.rdf.terms import Variable
@@ -70,6 +72,8 @@ from repro.sparql.plan import (
     match_triple,
 )
 from repro.sparql.solutions import Binding, EMPTY_BINDING
+
+logger = logging.getLogger(__name__)
 
 
 # ----------------------------------------------------------------------
@@ -176,20 +180,28 @@ def is_cyclic(variable_sets: Iterable[Iterable[Variable]]) -> bool:
 # ----------------------------------------------------------------------
 @dataclass(slots=True)
 class OperatorStats:
-    """Mutable per-operator counters, accumulated across executions.
+    """Mutable per-operator counters for the most recent execution.
 
     ``probes`` counts index/engine lookups issued by the operator (or
     rows tested, for filters); ``rows`` counts rows the operator passed
-    downstream.  Surfaced through :meth:`PhysicalPlan.counters` for the
-    bench metrics hooks and ``explain(counters=True)``.
+    downstream; ``seconds`` is wall time measured only under
+    ``execute(..., timed=True)`` (self time for leaf and intersection
+    operators, total pipeline time on the ``Project`` root).  Counters
+    are reset at the start of every :func:`execute` call — cached plans
+    therefore report the numbers of exactly one run, never an
+    accumulation across reuses (pass ``reset_stats=False`` to opt back
+    into accumulation).  Surfaced through :meth:`PhysicalPlan.counters`
+    for the bench metrics hooks and ``explain(counters=True)``.
     """
 
     rows: int = 0
     probes: int = 0
+    seconds: float = 0.0
 
     def reset(self) -> None:
         self.rows = 0
         self.probes = 0
+        self.seconds = 0.0
 
 
 class PhysicalOperator:
@@ -338,6 +350,12 @@ class PhysicalPlan:
     root: Project
     space: str
     source: BGPPlan
+    #: Why a GYO-cyclic BGP was *not* given the leapfrog operator (e.g.
+    #: ``"variable predicate"``); ``None`` for acyclic plans and for
+    #: cyclic plans that did get it.  Surfaced as a warning log, an
+    #: evaluator counter and a trace annotation so WCOJ fallbacks are
+    #: never silent.
+    wcoj_fallback: Optional[str] = None
     _operator_cache: Optional[List[PhysicalOperator]] = field(
         default=None, repr=False
     )
@@ -365,13 +383,14 @@ class PhysicalPlan:
             operator.stats.reset()
 
     def counters(self) -> List[Dict[str, object]]:
-        """Per-operator row/probe counters for the bench metrics hooks."""
+        """Per-operator row/probe/time counters for the bench metrics hooks."""
         return [
             {
                 "operator": type(operator).__name__,
                 "describe": operator.describe(),
                 "rows": operator.stats.rows,
                 "probes": operator.stats.probes,
+                "seconds": operator.stats.seconds,
             }
             for operator in self.operators()
         ]
@@ -400,6 +419,106 @@ class PhysicalPlan:
 
         render(self.root, "", True, True)
         return "\n".join(lines)
+
+    def analysis(self) -> List[Dict[str, object]]:
+        """Structured per-operator analysis (pre-order, like ``counters``).
+
+        Adds the planner's estimate and the estimation error to every
+        operator that carries an estimate: ``actual`` is the mean rows
+        produced per probe (the planner's estimates are per-probe
+        expectations), ``est_error`` is ``estimate / actual`` and
+        ``flagged`` marks errors beyond 10x in either direction.
+        """
+        entries = self.counters()
+        for operator, entry in zip(self.operators(), entries):
+            estimate = getattr(operator, "estimate", None)
+            if estimate is None:
+                continue
+            entry["estimate"] = estimate
+            rows, probes = entry["rows"], entry["probes"]
+            if probes:
+                actual = rows / probes
+                entry["actual_per_probe"] = actual
+                ratio = _estimation_error(estimate, actual)
+                if ratio is not None:
+                    entry["est_error"] = ratio
+                    entry["flagged"] = not 0.1 <= ratio <= 10.0
+        return entries
+
+    def explain_analyze(self, total_seconds: Optional[float] = None) -> str:
+        """Tree rendering annotated with wall time and estimation errors.
+
+        Every line carries the measured time (self time for leaves and
+        the leapfrog intersection, total pipeline time on ``Project``,
+        zero for operators not separately measured), the actual
+        row/probe counters, and — on estimate-carrying operators — the
+        per-probe actual cardinality with the est/actual error, marked
+        ``!`` beyond 10x either way.  Meaningful after
+        ``execute(..., timed=True)``; :meth:`SparqlEvaluator.explain_analyze
+        <repro.sparql.evaluator.SparqlEvaluator.explain_analyze>` wraps
+        execution and rendering in one call.
+        """
+        analysis = {
+            id(operator): entry
+            for operator, entry in zip(self.operators(), self.analysis())
+        }
+        lines: List[str] = []
+        if total_seconds is not None:
+            lines.append(
+                f"EXPLAIN ANALYZE ({self.space} space) "
+                f"total={total_seconds * 1e3:.2f}ms"
+            )
+
+        def annotate(operator: PhysicalOperator) -> str:
+            entry = analysis[id(operator)]
+            label = (
+                f"{operator.describe()}"
+                f" | time={entry['seconds'] * 1e3:.2f}ms"
+                f" rows={entry['rows']} probes={entry['probes']}"
+            )
+            if "estimate" in entry:
+                if "actual_per_probe" in entry:
+                    label += f" actual={entry['actual_per_probe']:g}/probe"
+                    ratio = entry.get("est_error")
+                    if ratio is None:
+                        label += " err=n/a"
+                    else:
+                        rendered = "inf" if ratio == float("inf") else f"{ratio:.2g}"
+                        label += f" err={rendered}x"
+                        if entry["flagged"]:
+                            label += " !"
+                else:
+                    label += " err=n/a"
+            return label
+
+        def render(operator: PhysicalOperator, prefix: str, is_last: bool, top: bool):
+            label = annotate(operator)
+            if top:
+                lines.append(label)
+                child_prefix = ""
+            else:
+                lines.append(prefix + ("└─ " if is_last else "├─ ") + label)
+                child_prefix = prefix + ("   " if is_last else "│  ")
+            kids = operator.children()
+            for index, kid in enumerate(kids):
+                render(kid, child_prefix, index == len(kids) - 1, False)
+
+        render(self.root, "", True, not lines)
+        if self.wcoj_fallback is not None:
+            lines.append(f"-- wcoj fallback: {self.wcoj_fallback}")
+        return "\n".join(lines)
+
+
+def _estimation_error(estimate: float, actual: float) -> Optional[float]:
+    """``estimate / actual`` with honest edge cases.
+
+    ``actual == 0`` with a substantial estimate (>= 1 expected row) is
+    an infinite overestimate; a sub-row estimate finding nothing is not
+    an estimation error at all (``None`` — rendered ``n/a``).
+    """
+    if actual > 0:
+        return estimate / actual
+    return float("inf") if estimate >= 1.0 else None
 
 
 # ----------------------------------------------------------------------
@@ -434,35 +553,46 @@ def supports_leapfrog(graph: object) -> bool:
     return all(hasattr(graph, name) for name in LEAPFROG_SURFACE)
 
 
-def _leapfrog_eligible(plan: BGPPlan, graph) -> bool:
-    """Can (and should) this plan run as a leapfrog triejoin?
+def _leapfrog_assessment(plan: BGPPlan, graph) -> Tuple[bool, Optional[str]]:
+    """Can (and should) this plan run as a leapfrog triejoin — and if a
+    *cyclic* plan can't, why not?
 
-    Requires the sorted-run surface, at least three pure triple patterns
-    with constant predicates and no repeated variable inside one pattern,
-    and — the actual trigger — a *cyclic* join hypergraph, where every
-    binary join order is worst-case suboptimal.  Acyclic plans stay on
-    the binary pipeline, which GYO-reduces to the optimal shape anyway.
+    Eligibility requires the sorted-run surface, at least three pure
+    triple patterns with constant predicates and no repeated variable
+    inside one pattern, and — the actual trigger — a cyclic join
+    hypergraph, where every binary join order is worst-case suboptimal.
+    Acyclic plans stay on the binary pipeline, which GYO-reduces to the
+    optimal shape anyway, so rejecting them is not a fallback and yields
+    no reason.  For a cyclic plan a structural rejection *is* a genuine
+    WCOJ fallback (the binary pipeline may be worst-case suboptimal
+    there), so the second element names the first blocking reason.
     """
-    if len(plan.steps) < 3 or not supports_leapfrog(graph):
-        return False
+    if len(plan.steps) < 3:
+        return False, None
+    reason: Optional[str] = None
+    if not supports_leapfrog(graph):
+        reason = "store exposes no sorted id runs"
     edges = []
     for step in plan.steps:
         node = step.node
         if not isinstance(node, TriplePatternNode):
-            return False
-        triple = node.triple
-        if isinstance(triple.predicate, Variable):
-            return False
-        if (
-            isinstance(triple.subject, Variable)
-            and isinstance(triple.object, Variable)
-            and triple.subject == triple.object
-        ):
-            return False
+            reason = reason or "property-path pattern in BGP"
+        else:
+            triple = node.triple
+            if isinstance(triple.predicate, Variable):
+                reason = reason or "variable predicate"
+            elif (
+                isinstance(triple.subject, Variable)
+                and isinstance(triple.object, Variable)
+                and triple.subject == triple.object
+            ):
+                reason = reason or "repeated variable within one pattern"
         variables = node.variables()
         if variables:
             edges.append(frozenset(variables))
-    return is_cyclic(edges)
+    if not is_cyclic(edges):
+        return False, None
+    return (True, None) if reason is None else (False, reason)
 
 
 def _leapfrog_variable_order(plan: BGPPlan, graph) -> Tuple[Variable, ...]:
@@ -570,7 +700,17 @@ def lower_plan(
     )
     prefilters = tuple(c for c in flat_conditions if not c.variables())
     join: PhysicalOperator
-    if id_space and options.wcoj and _leapfrog_eligible(plan, graph):
+    use_leapfrog = False
+    wcoj_fallback: Optional[str] = None
+    if id_space and options.wcoj:
+        use_leapfrog, wcoj_fallback = _leapfrog_assessment(plan, graph)
+        if wcoj_fallback is not None:
+            logger.warning(
+                "WCOJ selection rejected for GYO-cyclic BGP (%s); "
+                "falling back to binary index-nested-loop join",
+                wcoj_fallback,
+            )
+    if use_leapfrog:
         var_order = _leapfrog_variable_order(plan, graph)
         level_conditions = _attach_level_conditions(
             var_order, [c for c in flat_conditions if c.variables()]
@@ -601,7 +741,12 @@ def lower_plan(
     for step in plan.steps:
         result_variables |= step.node.variables()
     ordered = tuple(sorted(result_variables, key=lambda v: v.name))
-    return PhysicalPlan(root=Project(child, ordered, space), space=space, source=plan)
+    return PhysicalPlan(
+        root=Project(child, ordered, space),
+        space=space,
+        source=plan,
+        wcoj_fallback=wcoj_fallback,
+    )
 
 
 def lower_bgp(
@@ -634,12 +779,33 @@ def _unwrap_input(input_op: PhysicalOperator):
     return input_op, (), None
 
 
+def _timed_iter(iterator: Iterator, stats: OperatorStats) -> Iterator:
+    """Accumulate an iterator's ``next()`` self-time into ``stats.seconds``.
+
+    Wrapping a *producer* (a store match stream) measures that operator's
+    own work; wrapping the *root* stream measures total pipeline time,
+    since every downstream operator runs inside the root's ``next()``.
+    """
+    iterator = iter(iterator)
+    while True:
+        started = perf_counter()
+        try:
+            item = next(iterator)
+        except StopIteration:
+            stats.seconds += perf_counter() - started
+            return
+        stats.seconds += perf_counter() - started
+        yield item
+
+
 def execute(
     plan: PhysicalPlan,
     graph,
     path_evaluator: Optional[PathEvaluator] = None,
     path_engine: Optional[IdPathEngine] = None,
     initial: Binding = EMPTY_BINDING,
+    reset_stats: bool = True,
+    timed: bool = False,
 ) -> Iterator[Binding]:
     """Execute a physical plan, streaming bindings.
 
@@ -647,11 +813,29 @@ def execute(
     the bridge inside id pipelines); ``path_engine`` is an optional
     pre-built :class:`IdPathEngine` (the evaluator passes its cached one).
     ``initial`` pre-binds variables exactly like the legacy pipelines.
+
+    Counters are reset here, so every execution reports its own rows and
+    probes even when the physical plan came out of a cache; pass
+    ``reset_stats=False`` to opt back into accumulation across
+    executions.  ``timed=True`` additionally measures per-operator self
+    time into :attr:`OperatorStats.seconds` (one extra clock read per
+    produced row — ``explain_analyze`` turns it on, normal evaluation
+    leaves it off).
     """
+    if reset_stats:
+        plan.reset_stats()
     prefilter_op, join = _unwrap_root(plan)
     if plan.space == "id":
-        return _execute_id(plan, graph, prefilter_op, join, path_evaluator, path_engine, initial)
-    return _execute_term(plan, graph, prefilter_op, join, path_evaluator, initial)
+        stream = _execute_id(
+            plan, graph, prefilter_op, join, path_evaluator, path_engine, initial, timed
+        )
+    else:
+        stream = _execute_term(
+            plan, graph, prefilter_op, join, path_evaluator, initial, timed
+        )
+    if timed:
+        return _timed_iter(stream, plan.root.stats)
+    return stream
 
 
 def _execute_term(
@@ -661,6 +845,7 @@ def _execute_term(
     join: PhysicalOperator,
     path_evaluator: Optional[PathEvaluator],
     initial: Binding,
+    timed: bool = False,
 ) -> Iterator[Binding]:
     """Term-space index-nested-loop pipeline (ex ``plan.execute_plan``)."""
     if prefilter_op is not None:
@@ -690,6 +875,8 @@ def _execute_term(
             if path_evaluator is None:
                 raise TypeError("plan contains a path pattern but no path evaluator")
             matches = _match_path(graph, leaf.node, binding, path_evaluator)
+        if timed:
+            matches = _timed_iter(matches, leaf.stats)
         # Counters batch into locals, flushed in the finally block (which
         # also covers partially-consumed streams) — a per-row attribute
         # increment is measurable on fan-heavy inner loops, an int += not.
@@ -722,6 +909,7 @@ def _execute_id(
     path_evaluator: Optional[PathEvaluator],
     path_engine: Optional[IdPathEngine],
     initial: Binding,
+    timed: bool = False,
 ) -> Iterator[Binding]:
     """Id-space pipelines (ex ``idexec.execute_plan_ids`` + leapfrog)."""
     dictionary = graph.dictionary
@@ -740,8 +928,10 @@ def _execute_id(
             return iter(())
         prefilter_op.stats.rows += 1
     if isinstance(join, LeapfrogJoin):
-        return _execute_leapfrog(plan, graph, join, env, dictionary)
-    return _execute_id_inlj(plan, graph, join, env, dictionary, path_evaluator, path_engine)
+        return _execute_leapfrog(plan, graph, join, env, dictionary, timed)
+    return _execute_id_inlj(
+        plan, graph, join, env, dictionary, path_evaluator, path_engine, timed
+    )
 
 
 def _decode_order(env: Dict[Variable, int], plan: PhysicalPlan) -> Tuple[Variable, ...]:
@@ -765,6 +955,7 @@ def _execute_id_inlj(
     dictionary,
     path_evaluator: Optional[PathEvaluator],
     path_engine: Optional[IdPathEngine],
+    timed: bool = False,
 ) -> Iterator[Binding]:
     """Id-space index-nested-loop pipeline with in-place environments."""
     steps = [_unwrap_input(input_op) for input_op in join.inputs]
@@ -876,8 +1067,11 @@ def _execute_id_inlj(
             rows_seen = 0
             slot_probes = 0
             slot_rows = 0
+            matches = match_ids(probe[0], probe[1], probe[2])
+            if timed:
+                matches = _timed_iter(matches, leaf_stats)
             try:
-                for ids in match_ids(probe[0], probe[1], probe[2]):
+                for ids in matches:
                     added: List[Variable] = []
                     consistent = True
                     for index, variable in free:
@@ -932,7 +1126,10 @@ def _execute_id_inlj(
                     and not engine.is_node(object_id)
                 ):
                     return
-            for start, end in engine.pair_ids(path, subject_id, object_id):
+            pairs = engine.pair_ids(path, subject_id, object_id)
+            if timed:
+                pairs = _timed_iter(pairs, leaf_stats)
+            for start, end in pairs:
                 added = []
                 consistent = True
                 if subject_is_var and subject_id is None:
@@ -963,7 +1160,10 @@ def _execute_id_inlj(
                         endpoint_mapping[part] = decode(term_id)
             base = Binding(endpoint_mapping)
             encode = dictionary.encode
-            for extension in _match_path(graph, node, base, path_evaluator):
+            extensions = _match_path(graph, node, base, path_evaluator)
+            if timed:
+                extensions = _timed_iter(extensions, leaf_stats)
+            for extension in extensions:
                 added = []
                 for variable, term in extension.items():
                     if variable not in endpoint_mapping:
@@ -1036,6 +1236,7 @@ def _execute_leapfrog(
     join: LeapfrogJoin,
     env: Dict[Variable, int],
     dictionary,
+    timed: bool = False,
 ) -> Iterator[Binding]:
     """Run a :class:`LeapfrogJoin`: one sorted intersection per variable.
 
@@ -1069,6 +1270,7 @@ def _execute_leapfrog(
             stats.probes += 1
             if not graph.pattern_cardinality_ids(subject, predicate_id, obj):
                 return iter(())
+            stats.rows += 1
     level_of = {variable: level for level, variable in enumerate(var_order)}
     occurrences: List[List[Tuple[Tuple, int]]] = [[] for _ in range(levels)]
     for entry in compiled:
@@ -1086,9 +1288,25 @@ def _execute_leapfrog(
     sorted_pos = graph.sorted_subjects_for_predicate_object
 
     def candidates(entry: Tuple, position: int) -> Sequence[int]:
-        """Sorted candidate run of one pattern at one level, given ``env``."""
-        subject, predicate_id, obj, stats = entry
+        """Sorted candidate run of one pattern at one level, given ``env``.
+
+        ``rows`` counts the candidate ids each run contributes — the
+        scan-level "rows produced" of the leapfrog pipeline, and the
+        actual the per-probe cardinality estimates are compared against.
+        """
+        stats = entry[3]
         stats.probes += 1
+        if timed:
+            started = perf_counter()
+            run = _candidate_run(entry, position)
+            stats.seconds += perf_counter() - started
+        else:
+            run = _candidate_run(entry, position)
+        stats.rows += len(run)
+        return run
+
+    def _candidate_run(entry: Tuple, position: int) -> Sequence[int]:
+        subject, predicate_id, obj, _stats = entry
         if position == 0:  # level variable sits at the subject
             other = obj
             if isinstance(other, Variable):
@@ -1136,7 +1354,13 @@ def _execute_leapfrog(
             if not slot or all(id_filter.test(env, dictionary) for id_filter in slot):
                 yield from recurse(level + 1)
             return
-        for value in _leapfrog_intersect(arrays):
+        intersection = _leapfrog_intersect(arrays)
+        if timed:
+            # The galloping search is the join's own work; its time lands
+            # on the LeapfrogJoin operator, the run construction above on
+            # the scans that produced each array.
+            intersection = _timed_iter(intersection, join_stats)
+        for value in intersection:
             env[variable] = value
             if not slot or all(id_filter.test(env, dictionary) for id_filter in slot):
                 yield from recurse(level + 1)

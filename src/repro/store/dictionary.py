@@ -47,10 +47,30 @@ def _literal_key(
     return (lexical, datatype_value, language)
 
 
+class DictionaryCounters:
+    """Optional encode/decode counters (see ``TermDictionary.enable_counters``)."""
+
+    __slots__ = ("encodes", "decodes")
+
+    def __init__(self) -> None:
+        #: Interning operations (term/token -> id), hits and fresh ids alike.
+        self.encodes = 0
+        #: Decode operations (id -> Term), memoised hits included.
+        self.decodes = 0
+
+
 class TermDictionary:
     """Append-only bidirectional mapping between terms and tagged int ids."""
 
-    __slots__ = ("_iri_ids", "_bnode_ids", "_literal_ids", "_keys", "_kinds", "_cache")
+    __slots__ = (
+        "_iri_ids",
+        "_bnode_ids",
+        "_literal_ids",
+        "_keys",
+        "_kinds",
+        "_cache",
+        "_counters",
+    )
 
     def __init__(self) -> None:
         self._iri_ids: Dict[str, int] = {}
@@ -61,6 +81,15 @@ class TermDictionary:
         self._kinds = bytearray()
         #: Per-id memoised Term; ``None`` until first decoded.
         self._cache: List[Optional[Term]] = []
+        #: Observability counters; ``None`` (a bare identity check on the
+        #: encode/decode paths) until enable_counters().
+        self._counters: Optional[DictionaryCounters] = None
+
+    def enable_counters(self) -> DictionaryCounters:
+        """Switch on encode/decode counting (idempotent) and return it."""
+        if self._counters is None:
+            self._counters = DictionaryCounters()
+        return self._counters
 
     # ------------------------------------------------------------------
     # interning (encode)
@@ -74,6 +103,8 @@ class TermDictionary:
 
     def encode_iri(self, value: str) -> int:
         """Intern an IRI by its string value."""
+        if self._counters is not None:
+            self._counters.encodes += 1
         term_id = self._iri_ids.get(value)
         if term_id is None:
             term_id = self._iri_ids[value] = self._new_id(KIND_IRI, value, None)
@@ -81,6 +112,8 @@ class TermDictionary:
 
     def encode_bnode(self, label: str) -> int:
         """Intern a blank node by its label."""
+        if self._counters is not None:
+            self._counters.encodes += 1
         term_id = self._bnode_ids.get(label)
         if term_id is None:
             term_id = self._bnode_ids[label] = self._new_id(KIND_BLANK, label, None)
@@ -93,6 +126,8 @@ class TermDictionary:
         language: Optional[str] = None,
     ) -> int:
         """Intern a literal by its structural (lexical, datatype, language) key."""
+        if self._counters is not None:
+            self._counters.encodes += 1
         key = _literal_key(lexical, datatype_value, language)
         term_id = self._literal_ids.get(key)
         if term_id is None:
@@ -101,6 +136,8 @@ class TermDictionary:
 
     def encode(self, term: Term) -> int:
         """Intern a ``Term`` object, returning its (possibly new) id."""
+        if self._counters is not None:
+            self._counters.encodes += 1
         if isinstance(term, IRI):
             term_id = self._iri_ids.get(term.value)
             if term_id is None:
@@ -156,6 +193,8 @@ class TermDictionary:
     # ------------------------------------------------------------------
     def term(self, term_id: int) -> Term:
         """Decode an id back to its ``Term``, memoising the result."""
+        if self._counters is not None:
+            self._counters.decodes += 1
         index = term_id >> _KIND_SHIFT
         term = self._cache[index]
         if term is None:

@@ -96,6 +96,26 @@ def _entry_iter(entry: Entry) -> Iterator[int]:
     return iter((entry,))
 
 
+class StoreCounters:
+    """Optional store-level observability counters.
+
+    Created by :meth:`EncodedGraph.enable_counters`; until then the store
+    pays nothing for them.  Plain ints, incremented in place — the
+    metrics registry reads them through callbacks at collection time
+    (:func:`repro.obs.metrics.bind_store_metrics`).
+    """
+
+    __slots__ = ("index_probes", "sorted_run_builds", "sorted_run_invalidations")
+
+    def __init__(self) -> None:
+        #: match_triple_ids calls (one per index probe of the id executor).
+        self.index_probes = 0
+        #: Sorted id runs materialised for the leapfrog operator.
+        self.sorted_run_builds = 0
+        #: Sorted-run cache flushes forced by a version-stamp change.
+        self.sorted_run_invalidations = 0
+
+
 class EncodedGraph:
     """A set of RDF triples stored as dictionary-encoded integer ids.
 
@@ -125,6 +145,10 @@ class EncodedGraph:
         # mutation invalidates the whole cache lazily on next access.
         self._sorted_runs: Dict[Tuple, List[int]] = {}
         self._sorted_runs_version = -1
+        # Observability counters, absent until enable_counters(): the
+        # sorted-run sites below guard on None, match_triple_ids counting
+        # happens in an instance-attribute wrapper installed on demand.
+        self._counters: Optional[StoreCounters] = None
         if triples:
             for triple in triples:
                 self.add(triple)
@@ -133,6 +157,31 @@ class EncodedGraph:
     def dictionary(self) -> TermDictionary:
         """The term dictionary backing this graph (shared by copies)."""
         return self._dict
+
+    def enable_counters(self) -> StoreCounters:
+        """Switch on store-level counters (idempotent) and return them.
+
+        A disabled store pays nothing: the counting wrapper over
+        :meth:`match_triple_ids` is installed here as an instance
+        attribute (shadowing the class method — generator construction
+        defers the body, so the call-time increment is all the wrapper
+        adds), and the sorted-run sites are a ``None``-checked ``+=``.
+        Counters are per instance; ``copy()`` clones start disabled.
+        """
+        if self._counters is None:
+            counters = self._counters = StoreCounters()
+            unwrapped = type(self).match_triple_ids
+
+            def counting_match_triple_ids(
+                sid: Optional[int] = None,
+                pid: Optional[int] = None,
+                oid: Optional[int] = None,
+            ) -> Iterator[Tuple[int, int, int]]:
+                counters.index_probes += 1
+                return unwrapped(self, sid, pid, oid)
+
+            self.match_triple_ids = counting_match_triple_ids
+        return self._counters
 
     @property
     def version(self) -> int:
@@ -615,11 +664,17 @@ class EncodedGraph:
         the empty one from ``__init__`` — so runs can alias index
         internals without outliving a mutation.
         """
+        counters = self._counters
         if self._sorted_runs_version != self._version:
+            if counters is not None and self._sorted_runs:
+                # Version sync on a still-empty cache is not an invalidation.
+                counters.sorted_run_invalidations += 1
             self._sorted_runs.clear()
             self._sorted_runs_version = self._version
         run = self._sorted_runs.get(key)
         if run is None:
+            if counters is not None:
+                counters.sorted_run_builds += 1
             run = self._sorted_runs[key] = sorted(source)
         return run
 

@@ -1,0 +1,144 @@
+"""Golden tests for ``SparqlEvaluator.explain_analyze``.
+
+The rendered tree is deterministic except for wall-clock times, which a
+normalisation regex blanks out; everything else — operator structure,
+join-order, estimated cardinalities, actual rows/probes and the
+estimated-vs-actual error column — is compared verbatim against golden
+text in both execution spaces.  Separate tests cover the misestimate
+flag (``!`` beyond 10x error), the WCOJ-fallback footer, string-input
+parsing, the report surface and rejection of non-BGP forms.
+"""
+
+import re
+
+import pytest
+
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.terms import Triple
+from repro.sparql.evaluator import EvaluationError, SparqlEvaluator
+from repro.sparql.parser import parse_query
+from repro.store import EncodedGraph
+
+from tests.helpers import EX
+
+PREFIX = "PREFIX ex: <http://ex.org/>\n"
+
+_TRIPLES = [
+    Triple(EX.s1, EX.p, EX.a),
+    Triple(EX.s1, EX.q, EX.b),
+    Triple(EX.s1, EX.r, EX.c),
+    Triple(EX.s2, EX.p, EX.a),
+    Triple(EX.s2, EX.q, EX.b),
+    Triple(EX.a, EX.p, EX.b),
+    Triple(EX.b, EX.p, EX.c),
+    Triple(EX.c, EX.p, EX.a),
+]
+
+_STAR = PREFIX + "SELECT * WHERE { ?s ex:p ?a . ?s ex:q ?b . ?s ex:r ?c }"
+_TRIANGLE = PREFIX + "SELECT * WHERE { ?a ex:p ?b . ?b ex:p ?c . ?c ex:p ?a }"
+
+_GOLDEN = {
+    ("term", "star"): """\
+EXPLAIN ANALYZE (term space) total=_
+└─ Project [?a, ?b, ?c, ?s] decode=term | time=_ rows=1 probes=0
+   └─ IndexNestedLoopJoin steps=3 | time=_ rows=1 probes=0
+      ├─ Scan TP(?s <http://ex.org/r> ?c) est=1 | time=_ rows=1 probes=1 actual=1/probe err=1x
+      ├─ Scan TP(?s <http://ex.org/p> ?a) est=1 | time=_ rows=1 probes=1 actual=1/probe err=1x
+      └─ Scan TP(?s <http://ex.org/q> ?b) est=1 | time=_ rows=1 probes=1 actual=1/probe err=1x""",
+    ("term", "triangle"): """\
+EXPLAIN ANALYZE (term space) total=_
+└─ Project [?a, ?b, ?c] decode=term | time=_ rows=3 probes=0
+   └─ IndexNestedLoopJoin steps=3 | time=_ rows=3 probes=0
+      ├─ Scan TP(?a <http://ex.org/p> ?b) est=5 | time=_ rows=5 probes=1 actual=5/probe err=1x
+      ├─ Scan TP(?b <http://ex.org/p> ?c) est=1 | time=_ rows=5 probes=5 actual=1/probe err=1x
+      └─ Scan TP(?c <http://ex.org/p> ?a) est=0.333333 | time=_ rows=3 probes=5 actual=0.6/probe err=0.56x""",
+    ("id", "star"): """\
+EXPLAIN ANALYZE (id space) total=_
+└─ Project [?a, ?b, ?c, ?s] decode=id | time=_ rows=1 probes=0
+   └─ IndexNestedLoopJoin steps=3 | time=_ rows=1 probes=0
+      ├─ Scan TP(?s <http://ex.org/r> ?c) est=1 | time=_ rows=1 probes=1 actual=1/probe err=1x
+      ├─ Scan TP(?s <http://ex.org/p> ?a) est=1 | time=_ rows=1 probes=1 actual=1/probe err=1x
+      └─ Scan TP(?s <http://ex.org/q> ?b) est=1 | time=_ rows=1 probes=1 actual=1/probe err=1x""",
+    ("id", "triangle"): """\
+EXPLAIN ANALYZE (id space) total=_
+└─ Project [?a, ?b, ?c] decode=id | time=_ rows=3 probes=0
+   └─ LeapfrogJoin order=[?a, ?b, ?c] | time=_ rows=3 probes=0
+      ├─ Scan TP(?a <http://ex.org/p> ?b) est=5 | time=_ rows=8 probes=4 actual=2/probe err=2.5x
+      ├─ Scan TP(?b <http://ex.org/p> ?c) est=1 | time=_ rows=18 probes=6 actual=3/probe err=0.33x
+      └─ Scan TP(?c <http://ex.org/p> ?a) est=0.333333 | time=_ rows=8 probes=4 actual=2/probe err=0.17x""",
+}
+
+
+def _normalize(text: str) -> str:
+    """Blank out wall-clock times; everything else must match exactly."""
+    return re.sub(r"(time|total)=\d+(\.\d+)?ms", r"\1=_", text)
+
+
+def _evaluator(graph_cls) -> SparqlEvaluator:
+    return SparqlEvaluator(Dataset.from_graph(graph_cls(_TRIPLES)))
+
+
+@pytest.mark.parametrize("graph_cls", [Graph, EncodedGraph], ids=["term", "id"])
+@pytest.mark.parametrize("query_name", ["star", "triangle"])
+def test_explain_analyze_golden(graph_cls, query_name):
+    space = "term" if graph_cls is Graph else "id"
+    query = _STAR if query_name == "star" else _TRIANGLE
+    report = _evaluator(graph_cls).explain_analyze(query)
+    assert _normalize(report.text) == _GOLDEN[(space, query_name)]
+
+
+def test_report_surface():
+    report = _evaluator(EncodedGraph).explain_analyze(_TRIANGLE)
+    assert report.rows == 3
+    assert report.total_seconds > 0.0
+    assert str(report) == report.text
+    assert report.plan is not None
+    # analysis() carries the same numbers the rendering shows.
+    entries = report.plan.analysis()
+    scans = [entry for entry in entries if entry["operator"] == "Scan"]
+    assert len(scans) == 3
+    assert all(entry.get("est_error") is not None for entry in scans)
+
+
+def test_accepts_parsed_queries_too():
+    text_report = _evaluator(Graph).explain_analyze(_STAR)
+    parsed_report = _evaluator(Graph).explain_analyze(parse_query(_STAR))
+    assert _normalize(parsed_report.text) == _normalize(text_report.text)
+
+
+def test_misestimate_beyond_10x_is_flagged():
+    # A hub: 60 spokes in, 60 spokes out.  The uniform per-probe estimate
+    # for the second chain step is tiny, but every probe that reaches the
+    # hub fans out to all 60 successors — an estimation error well beyond
+    # the 10x flagging threshold.
+    triples = []
+    for i in range(60):
+        triples.append(Triple(EX[f"a{i}"], EX.p, EX.hub))
+        triples.append(Triple(EX.hub, EX.p, EX[f"c{i}"]))
+    evaluator = SparqlEvaluator(Dataset.from_graph(EncodedGraph(triples)))
+    report = evaluator.explain_analyze(
+        PREFIX + "SELECT * WHERE { ?x ex:p ?y . ?y ex:p ?z }"
+    )
+    assert " !" in report.text
+    flagged = [
+        entry for entry in report.plan.analysis() if entry.get("flagged")
+    ]
+    assert flagged
+    assert any(entry["est_error"] < 0.1 for entry in flagged)
+
+
+def test_wcoj_fallback_footer():
+    evaluator = _evaluator(EncodedGraph)
+    report = evaluator.explain_analyze(
+        PREFIX + "SELECT * WHERE { ?a ?p ?b . ?b ?p ?c . ?c ?p ?a }"
+    )
+    assert report.text.rstrip().endswith("-- wcoj fallback: variable predicate")
+
+
+def test_non_bgp_forms_are_rejected():
+    evaluator = _evaluator(Graph)
+    union = PREFIX + (
+        "SELECT * WHERE { { ?s ex:p ?a } UNION { ?s ex:q ?a } }"
+    )
+    with pytest.raises(EvaluationError):
+        evaluator.explain_analyze(union)
