@@ -45,9 +45,12 @@ from repro.store import (
     bulk_load_turtle,
     create_graph,
     load_snapshot,
+    open_graph,
     save_snapshot,
 )
-from repro.sparql import SparqlEvaluator, parse_query
+from repro.sparql import ExecutionProfile, SparqlEvaluator, parse_query
+from repro.engine import Engine, create_engine
+from repro.ivm import MaterializedView, ViewRegistry
 from repro.core import Ontology, SparqLogEngine
 from repro.baselines import (
     NativeSparqlEngine,
@@ -61,9 +64,12 @@ __all__ = [
     "BlankNode",
     "Dataset",
     "EncodedGraph",
+    "Engine",
+    "ExecutionProfile",
     "Graph",
     "IRI",
     "Literal",
+    "MaterializedView",
     "Namespace",
     "NativeSparqlEngine",
     "Ontology",
@@ -73,12 +79,15 @@ __all__ = [
     "TermDictionary",
     "Triple",
     "Variable",
+    "ViewRegistry",
     "VirtuosoLikeEngine",
     "bulk_load_ntriples",
     "bulk_load_path",
     "bulk_load_turtle",
+    "create_engine",
     "create_graph",
     "load_snapshot",
+    "open_graph",
     "parse_ntriples",
     "parse_query",
     "parse_turtle",

@@ -1,0 +1,149 @@
+"""Unified engine/session facade.
+
+Historically the public surface was a loose collection of pieces — build
+a graph, wrap it in a :class:`~repro.rdf.graph.Dataset`, construct a
+:class:`~repro.sparql.evaluator.SparqlEvaluator` with the right knobs,
+parse queries yourself.  :func:`create_engine` assembles all of it into
+one :class:`Engine` handle:
+
+* ``engine.query(...)`` — parse + evaluate (SELECT → solution sequence,
+  ASK → bool),
+* ``engine.materialize(...)`` — a live :class:`~repro.ivm.views.MaterializedView`
+  maintained through change capture (see :mod:`repro.ivm`),
+* ``engine.explain(...)`` / ``engine.explain_analyze(...)`` — plan
+  inspection,
+* ``engine.metrics()`` — the evaluator's metric snapshot (plan caches,
+  WCOJ fallbacks, IVM counters),
+* ``engine.close()`` — detaches every live view; the engine is a context
+  manager.
+
+Execution is configured with an
+:class:`~repro.sparql.profile.ExecutionProfile` (presets ``FULL``,
+``ID_NATIVE``, ``BASELINE``) instead of the deprecated boolean knobs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.rdf.graph import Dataset, Graph
+from repro.sparql.algebra import Query
+from repro.sparql.evaluator import ExplainAnalyzeReport, SparqlEvaluator
+from repro.sparql.parser import parse_query
+from repro.sparql.profile import ExecutionProfile
+from repro.sparql.solutions import SolutionSequence
+from repro.ivm.views import MaterializedView, ViewRegistry
+from repro.obs.tracer import Tracer
+
+
+class Engine:
+    """One session over a dataset: evaluator, plan caches, live views."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        profile: Optional[ExecutionProfile] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.evaluator = SparqlEvaluator(dataset, profile=profile, tracer=tracer)
+        self.views = ViewRegistry(self.evaluator, tracer)
+        self._closed = False
+
+    # -- introspection -------------------------------------------------
+    @property
+    def graph(self):
+        """The dataset's default graph (what views watch by default)."""
+        return self.dataset.default_graph
+
+    @property
+    def profile(self) -> ExecutionProfile:
+        return self.evaluator.profile
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        return self.evaluator.tracer
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine(profile={self.profile}, "
+            f"graph={type(self.graph).__name__}({len(self.graph)} triples), "
+            f"views={len(self.views.views)})"
+        )
+
+    # -- querying ------------------------------------------------------
+    def query(self, query: Union[str, Query]) -> Union[SolutionSequence, bool]:
+        """Parse (if needed) and evaluate a SPARQL query."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self.evaluator.evaluate(query)
+
+    def explain(self, query: Union[str, Query]) -> str:
+        """Render the physical plan the query would execute."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self.evaluator.explain(query)
+
+    def explain_analyze(self, query: Union[str, Query]) -> ExplainAnalyzeReport:
+        """Execute the query and render the plan with measured counters."""
+        return self.evaluator.explain_analyze(query)
+
+    def metrics(self):
+        """Snapshot every engine metric (plan caches, IVM, store)."""
+        return self.evaluator.metrics()
+
+    # -- live views ----------------------------------------------------
+    def materialize(
+        self, query: Union[str, Query], graph=None
+    ) -> MaterializedView:
+        """Materialize a SELECT query as a continuously-maintained view.
+
+        The view stays consistent with every mutation of the watched
+        graph (``graph`` defaults to the engine's default graph) —
+        differentiated plans update in O(|change|), other shapes fall
+        back to scoped re-evaluation.  See :mod:`repro.ivm.views`.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        return self.views.materialize(query, graph=graph)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Close every live view and detach the change-capture listeners."""
+        if not self._closed:
+            self._closed = True
+            self.views.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+def create_engine(
+    data=None,
+    profile: Optional[ExecutionProfile] = None,
+    tracer: Optional[Tracer] = None,
+) -> Engine:
+    """Build an :class:`Engine` over a graph or dataset.
+
+    ``data`` may be a graph of either backend (it becomes the default
+    graph), a full :class:`~repro.rdf.graph.Dataset`, or ``None`` for an
+    empty dataset.  ``profile`` selects the execution configuration
+    (default :attr:`ExecutionProfile.FULL
+    <repro.sparql.profile.ExecutionProfile.FULL>`); ``tracer`` attaches
+    phase/operator tracing to everything the engine runs.
+    """
+    if data is None:
+        dataset = Dataset()
+    elif isinstance(data, Dataset):
+        dataset = data
+    elif isinstance(data, Graph) or hasattr(data, "triples"):
+        dataset = Dataset.from_graph(data)
+    else:
+        raise TypeError(
+            f"cannot build an engine over {type(data).__name__}; "
+            "pass a Graph, EncodedGraph or Dataset"
+        )
+    return Engine(dataset, profile=profile, tracer=tracer)

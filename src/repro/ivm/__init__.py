@@ -1,0 +1,63 @@
+"""Incremental view maintenance (IVM) over the physical operator layer.
+
+Z-set (weighted-multiset) deltas flow from the stores' change-capture
+hooks through differentiated physical operators into continuously
+maintained materialized views:
+
+* :mod:`repro.ivm.zset` — the ±weighted-row primitives,
+* :mod:`repro.ivm.delta` — differentiation of physical BGP plans
+  (:func:`~repro.ivm.delta.differentiate`, :class:`~repro.ivm.delta.DeltaPipeline`),
+* :mod:`repro.ivm.views` — :class:`~repro.ivm.views.MaterializedView` and
+  the :class:`~repro.ivm.views.ViewRegistry` that feeds views from change
+  capture.
+
+The public entry point is the engine facade::
+
+    from repro import create_engine, open_graph
+
+    engine = create_engine(open_graph("data.nt", backend="encoded"))
+    view = engine.materialize(
+        "SELECT ?a ?c WHERE { ?a <p> ?b . ?b <p> ?c }"
+    )
+    view.on_change(lambda events: print(events))
+    view.rows()   # always current, maintained in O(|change|)
+"""
+
+from repro.ivm.delta import (
+    DeltaFilter,
+    DeltaJoin,
+    DeltaPipeline,
+    DeltaProject,
+    DeltaScan,
+    DeltaStats,
+    differentiate,
+)
+from repro.ivm.views import MaterializedView, ViewRegistry
+from repro.ivm.zset import (
+    ZSet,
+    zset_add,
+    zset_diff,
+    zset_expand,
+    zset_from_rows,
+    zset_merge,
+    zset_rows,
+)
+
+__all__ = [
+    "DeltaFilter",
+    "DeltaJoin",
+    "DeltaPipeline",
+    "DeltaProject",
+    "DeltaScan",
+    "DeltaStats",
+    "MaterializedView",
+    "ViewRegistry",
+    "ZSet",
+    "differentiate",
+    "zset_add",
+    "zset_diff",
+    "zset_expand",
+    "zset_from_rows",
+    "zset_merge",
+    "zset_rows",
+]

@@ -17,9 +17,16 @@ O(1) lookup, which is what the BGP join planner
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.rdf.terms import IRI, Term, Triple
+
+#: A change-capture batch: ``(triple, weight)`` pairs with weight ``+1``
+#: for an insert and ``-1`` for a delete.  Every batch describes an
+#: *effective* transition — idempotent adds and missing removes never
+#: notify — so consumers can treat the graph as a Z-set whose per-triple
+#: multiplicity stays in {0, 1}.
+DeltaBatch = Sequence[Tuple[Triple, int]]
 
 
 class Graph:
@@ -49,6 +56,10 @@ class Graph:
         self._object_counts: Counter = Counter()
         self._pred_subject_counts: Dict[Term, Counter] = defaultdict(Counter)
         self._version = 0
+        # Change-capture listeners: called with a DeltaBatch after every
+        # effective mutation (post-mutation, so listeners observe the new
+        # state).  Copies never inherit listeners.
+        self._delta_listeners: List[Callable[[DeltaBatch], None]] = []
         if triples:
             for triple in triples:
                 self.add(triple)
@@ -64,6 +75,31 @@ class Graph:
         the contents change.
         """
         return self._version
+
+    # ------------------------------------------------------------------
+    # change capture
+    # ------------------------------------------------------------------
+    def add_change_listener(self, listener: Callable[[DeltaBatch], None]) -> None:
+        """Register ``listener`` to receive every effective mutation.
+
+        The listener is called *after* the mutation is applied with a
+        batch of ``(triple, ±1)`` deltas; it must not mutate the graph
+        re-entrantly.  Materialized views
+        (:mod:`repro.ivm`) use this to stay consistent in O(|delta|).
+        """
+        if listener not in self._delta_listeners:
+            self._delta_listeners.append(listener)
+
+    def remove_change_listener(self, listener: Callable[[DeltaBatch], None]) -> None:
+        """Unregister a change listener (missing listeners are ignored)."""
+        try:
+            self._delta_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_delta(self, batch: DeltaBatch) -> None:
+        for listener in list(self._delta_listeners):
+            listener(batch)
 
     # ------------------------------------------------------------------
     # mutation
@@ -84,6 +120,8 @@ class Graph:
         self._object_counts[obj] += 1
         self._pred_subject_counts[predicate][subject] += 1
         self._version += 1
+        if self._delta_listeners:
+            self._notify_delta(((triple, 1),))
 
     def add_triple(self, subject: Term, predicate: Term, obj: Term) -> None:
         """Convenience wrapper to add a triple from its components."""
@@ -117,6 +155,8 @@ class Graph:
         if not per_subject:
             del self._pred_subject_counts[predicate]
         self._version += 1
+        if self._delta_listeners:
+            self._notify_delta(((triple, -1),))
 
     @staticmethod
     def _prune_index(

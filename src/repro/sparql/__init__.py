@@ -66,6 +66,7 @@ from repro.sparql.paths import (
     ZeroOrOnePath,
 )
 from repro.sparql.evaluator import SparqlEvaluator
+from repro.sparql.profile import ExecutionProfile
 from repro.sparql.idpaths import IdPathEngine, supports_id_paths
 from repro.sparql.physical import (
     IndexNestedLoopJoin,
@@ -85,6 +86,7 @@ __all__ = [
     "BGP",
     "BGPPlan",
     "Binding",
+    "ExecutionProfile",
     "Filter",
     "GraphGraphPattern",
     "IdPathEngine",

@@ -23,14 +23,18 @@ reordered by estimated cardinality, lowered to a physical operator DAG
 (term- or id-space per backend capability, with a leapfrog-triejoin
 operator for cyclic BGPs) and executed as a streaming pipeline, so ASK
 and plain LIMIT queries short-circuit instead of materialising the full
-join.  Pass ``use_planner=False`` to recover the naive textual-order
-evaluation (used as the differential-testing baseline and by the planner
-benchmarks); the remaining knobs map onto
-:class:`repro.sparql.physical.LoweringOptions`.
+join.  The execution knobs are configured through
+:class:`repro.sparql.profile.ExecutionProfile` (``profile=`` — presets
+``FULL`` / ``ID_NATIVE`` / ``BASELINE``); ``use_planner=False`` recovers
+the naive textual-order evaluation (used as the differential-testing
+baseline and by the planner benchmarks) and the remaining knobs map onto
+:class:`repro.sparql.physical.LoweringOptions`.  The historical boolean
+constructor kwargs still work but emit a ``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
+import warnings
 import weakref
 from collections import OrderedDict, defaultdict, deque
 from dataclasses import dataclass, field
@@ -89,6 +93,7 @@ from repro.sparql.paths import (
     matches_zero_length,
     normalize_path,
 )
+from repro.sparql.profile import ExecutionProfile
 from repro.sparql.solutions import Binding, EMPTY_BINDING, SolutionSequence
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
@@ -96,6 +101,12 @@ from repro.obs.tracer import Tracer
 
 class EvaluationError(RuntimeError):
     """Raised when a query cannot be evaluated (unsupported construct)."""
+
+
+#: Sentinel distinguishing "knob not passed" from an explicit value, so
+#: the deprecation shim only fires for callers actually using the old
+#: boolean-kwarg surface.
+_UNSET = object()
 
 
 @dataclass
@@ -126,32 +137,67 @@ class SparqlEvaluator:
     def __init__(
         self,
         dataset: Dataset,
-        use_planner: bool = True,
-        use_id_execution: bool = True,
-        use_filter_pushdown: bool = True,
-        use_id_paths: bool = True,
-        use_wcoj: bool = True,
+        use_planner: bool = _UNSET,
+        use_id_execution: bool = _UNSET,
+        use_filter_pushdown: bool = _UNSET,
+        use_id_paths: bool = _UNSET,
+        use_wcoj: bool = _UNSET,
         tracer: Optional[Tracer] = None,
+        profile: Optional[ExecutionProfile] = None,
     ) -> None:
         self.dataset = dataset
-        self.use_planner = use_planner
+        # The boolean knobs are a deprecated spelling of ExecutionProfile:
+        # explicit values are folded into a custom profile (with a
+        # DeprecationWarning); new code passes profile= directly.
+        legacy = {
+            name: value
+            for name, value in (
+                ("use_planner", use_planner),
+                ("use_id_execution", use_id_execution),
+                ("use_filter_pushdown", use_filter_pushdown),
+                ("use_id_paths", use_id_paths),
+                ("use_wcoj", use_wcoj),
+            )
+            if value is not _UNSET
+        }
+        if legacy:
+            warnings.warn(
+                "SparqlEvaluator's boolean knobs (use_planner, "
+                "use_id_execution, use_filter_pushdown, use_id_paths, "
+                "use_wcoj) are deprecated; pass "
+                "profile=ExecutionProfile(...) instead "
+                "(see docs/MIGRATION.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if profile is not None:
+                raise ValueError(
+                    "pass either profile= or the legacy use_* knobs, not both"
+                )
+            profile = ExecutionProfile.FULL.with_options(**legacy)
+        elif profile is None:
+            profile = ExecutionProfile.FULL
+        #: The resolved execution profile; the knob attributes below are
+        #: read-only views of it kept for the internal call sites.
+        self.profile = profile
+        self.use_planner = profile.use_planner
         # Execute planned BGPs entirely over integer term ids when the
         # active graph is an encoded store (decode only at the result
         # boundary); off recovers the decoded-Term join pipeline.
-        self.use_id_execution = use_id_execution
+        self.use_id_execution = profile.use_id_execution
         # Push FILTER conjuncts over planned BGPs into the streaming
         # pipeline (earliest step binding their variables); off recovers
         # the evaluate-then-post-filter baseline.
-        self.use_filter_pushdown = use_filter_pushdown
+        self.use_filter_pushdown = profile.use_filter_pushdown
         # Evaluate property paths through the id-native engine
         # (repro.sparql.idpaths) when the active graph exposes the id
         # navigation surface; off recovers the term-level ALP procedure
         # on every backend (the differential baseline).
-        self.use_id_paths = use_id_paths
+        self.use_id_paths = profile.use_id_paths
         # Allow the lowering pass to pick the leapfrog-triejoin operator
         # for cyclic all-triple BGPs over a sorted-id-capable graph; off
         # pins every planned BGP to the binary index-nested-loop join.
-        self.use_wcoj = use_wcoj
+        self.use_wcoj = profile.use_wcoj
         # The most recent physical plan produced by lowering — inspection
         # hook for tests, benchmarks and explain()-style tooling.
         self.last_physical_plan: Optional[physical.PhysicalPlan] = None

@@ -49,6 +49,72 @@ def default_backend() -> str:
     return os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
 
 
+def _infer_format(path, format: Optional[str]) -> str:
+    if format is not None:
+        return format
+    suffix = os.path.splitext(os.fspath(path))[1].lower()
+    if suffix in (".nt", ".ntriples"):
+        return "ntriples"
+    if suffix in (".ttl", ".turtle"):
+        return "turtle"
+    raise ValueError(f"cannot infer RDF format from {path!r}")
+
+
+def open_graph(
+    path=None,
+    backend: Optional[str] = None,
+    snapshot=None,
+    format: Optional[str] = None,
+):
+    """One entry point for every way of opening a graph.
+
+    * ``open_graph()`` — an empty graph of the default backend,
+    * ``open_graph("data.nt")`` — load a file (format inferred from the
+      extension, or forced with ``format=``); the encoded backend takes
+      the streaming bulk-load path, the hash backend the seed parsers,
+    * ``open_graph("data.nt", snapshot="data.snap")`` — warm start: load
+      the binary snapshot when it exists, otherwise parse the source and
+      write the snapshot for next time,
+    * ``open_graph(snapshot="data.snap")`` — snapshot only (must exist
+      unless you want an empty graph persisted there).
+
+    ``snapshot=`` implies (and requires) the encoded backend; otherwise
+    ``backend=None`` falls back to ``REPRO_STORE_BACKEND`` then ``"hash"``.
+    """
+    if snapshot is not None:
+        if backend is None:
+            backend = "encoded"
+        elif backend != "encoded":
+            raise ValueError(
+                f"snapshots require the encoded backend, not {backend!r}"
+            )
+        if os.path.exists(snapshot):
+            return load_snapshot(snapshot)
+    if backend is None:
+        backend = default_backend()
+    if backend not in GRAPH_BACKENDS:
+        raise ValueError(
+            f"unknown graph backend {backend!r}; available: {sorted(GRAPH_BACKENDS)}"
+        )
+    if path is None:
+        graph = create_graph(backend)
+    elif backend == "encoded":
+        graph = bulk_load_path(path, format=format)
+    else:
+        from repro.rdf.ntriples import parse_ntriples
+        from repro.rdf.turtle import parse_turtle
+
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        if _infer_format(path, format) == "ntriples":
+            graph = parse_ntriples(text)
+        else:
+            graph = parse_turtle(text)
+    if snapshot is not None:
+        save_snapshot(graph, snapshot)
+    return graph
+
+
 def create_graph(
     backend: Optional[str] = None, triples: Optional[Iterable[Triple]] = None
 ):
@@ -80,5 +146,6 @@ __all__ = [
     "create_graph",
     "default_backend",
     "load_snapshot",
+    "open_graph",
     "save_snapshot",
 ]

@@ -157,6 +157,9 @@ def bulk_load_ntriples(
         # Keep the graph observably consistent even when a parse error
         # aborts the load part-way: statistics must cover every triple
         # already inserted, and the version stamp must record the change.
+        # Change-capture listeners need no handling here: _add_ids
+        # notifies them per effective insert even with stats deferred, so
+        # materialized views stay consistent through bulk loads too.
         if not incremental:
             graph._rebuild_statistics()
             if mutated:

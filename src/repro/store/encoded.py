@@ -25,10 +25,14 @@ identically on both backends.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.rdf.terms import Term, Triple, Variable
 from repro.store.dictionary import TermDictionary
+
+#: A change-capture batch, mirroring :data:`repro.rdf.graph.DeltaBatch`:
+#: ``(triple, ±1)`` pairs describing effective insert/delete transitions.
+DeltaBatch = Sequence[Tuple[Triple, int]]
 
 #: A hybrid innermost index entry: one id, or a set of ids.
 Entry = Union[int, Set[int]]
@@ -149,6 +153,12 @@ class EncodedGraph:
         # sorted-run sites below guard on None, match_triple_ids counting
         # happens in an instance-attribute wrapper installed on demand.
         self._counters: Optional[StoreCounters] = None
+        # Change-capture listeners (see Graph._delta_listeners): notified
+        # with decoded (triple, ±1) batches after every effective
+        # mutation, including the stats-deferred bulk-load inserts, so a
+        # materialized view can never miss a loader path.  copy() clones
+        # start with no listeners.
+        self._delta_listeners: List[Callable[[DeltaBatch], None]] = []
         if triples:
             for triple in triples:
                 self.add(triple)
@@ -187,6 +197,31 @@ class EncodedGraph:
     def version(self) -> int:
         """Monotonically increasing mutation stamp (see ``Graph.version``)."""
         return self._version
+
+    # ------------------------------------------------------------------
+    # change capture
+    # ------------------------------------------------------------------
+    def add_change_listener(self, listener: Callable[[DeltaBatch], None]) -> None:
+        """Register ``listener`` for post-mutation ``(triple, ±1)`` batches.
+
+        Fires on every effective mutation path — ``add`` / ``add_triple``
+        / ``remove``, the streaming Turtle sink, and the bulk/snapshot
+        loaders' direct ``_add_ids`` inserts (statistics deferral does not
+        defer change capture).
+        """
+        if listener not in self._delta_listeners:
+            self._delta_listeners.append(listener)
+
+    def remove_change_listener(self, listener: Callable[[DeltaBatch], None]) -> None:
+        """Unregister a change listener (missing listeners are ignored)."""
+        try:
+            self._delta_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_delta(self, batch: DeltaBatch) -> None:
+        for listener in list(self._delta_listeners):
+            listener(batch)
 
     # ------------------------------------------------------------------
     # mutation
@@ -248,7 +283,44 @@ class EncodedGraph:
                 per_subject = self._pred_subject_counts[pid] = {}
             per_subject[sid] = per_subject.get(sid, 0) + 1
             self._version += 1
+        if self._delta_listeners:
+            decode = self._dict.term
+            self._notify_delta(
+                ((Triple(decode(sid), decode(pid), decode(oid)), 1),)
+            )
         return True
+
+    def _bulk_insert_ids(self, ids) -> None:
+        """Insert a flat ``[s, p, o, s, p, o, ...]`` id stream (no stats).
+
+        The snapshot loader's hot path: one tight loop with the three
+        index roots and the entry-add helper hoisted to locals, instead
+        of a :meth:`_add_ids` call per triple.  Statistics are rebuilt
+        by the caller (:meth:`_rebuild_statistics`); duplicates collapse
+        exactly as in :meth:`_add_ids` (the caller detects them through
+        ``len(self)``).  Never notifies change listeners — it only runs
+        on freshly constructed graphs that cannot have any.
+        """
+        spo, pos, osp = self._spo, self._pos, self._osp
+        entry_add = _entry_add
+        added = 0
+        stream = iter(ids)
+        for sid, pid, oid in zip(stream, stream, stream):
+            by_predicate = spo.get(sid)
+            if by_predicate is None:
+                by_predicate = spo[sid] = {}
+            if not entry_add(by_predicate, pid, oid):
+                continue
+            by_object = pos.get(pid)
+            if by_object is None:
+                by_object = pos[pid] = {}
+            entry_add(by_object, oid, sid)
+            by_subject = osp.get(oid)
+            if by_subject is None:
+                by_subject = osp[oid] = {}
+            entry_add(by_subject, sid, pid)
+            added += 1
+        self._len += added
 
     def _rebuild_statistics(self) -> None:
         """Recompute every counter from the indexes (post bulk/snapshot load)."""
@@ -307,6 +379,11 @@ class EncodedGraph:
             self._decrement(per_subject, sid)
             if not per_subject:
                 del self._pred_subject_counts[pid]
+        if self._delta_listeners:
+            decode = self._dict.term
+            self._notify_delta(
+                ((Triple(decode(sid), decode(pid), decode(oid)), -1),)
+            )
 
     @staticmethod
     def _decrement(counts: Dict[int, int], key: int) -> None:

@@ -39,6 +39,7 @@ from repro.store.dictionary import (
     TermDictionary,
     _KIND_MASK,
     _KIND_SHIFT,
+    _literal_key,
 )
 from repro.store.encoded import EncodedGraph
 
@@ -157,23 +158,75 @@ class _Reader:
 
 
 def _load_dictionary(reader: _Reader) -> TermDictionary:
+    """Decode the term table into a fresh dictionary.
+
+    This is roughly half of a warm start, so the loop works on the raw
+    byte buffer with local offset arithmetic and fills the dictionary's
+    internal tables directly — ids are assigned densely in stream order,
+    exactly what the per-term ``encode_*`` calls would produce, without
+    a :class:`_Reader` method call per field.
+    """
     dictionary = TermDictionary()
     count = reader.u32()
-    for _ in range(count):
-        kind = reader.u8()
-        if kind == KIND_IRI:
-            dictionary.encode_iri(reader.string())
-        elif kind == KIND_BLANK:
-            dictionary.encode_bnode(reader.string())
-        elif kind == KIND_LITERAL:
-            flags = reader.u8()
-            lexical = reader.string()
-            datatype_value = reader.string() if flags & _FLAG_DATATYPE else None
-            language = reader.string() if flags & _FLAG_LANGUAGE else None
-            dictionary.encode_literal(lexical, datatype_value, language)
-        else:
-            raise SnapshotError(f"unknown term kind tag {kind}")
-    if len(dictionary) != count:
+    data = reader.data
+    offset = reader.offset
+    unpack_u32 = _U32.unpack_from
+    keys = dictionary._keys
+    kinds = dictionary._kinds
+    cache = dictionary._cache
+    iri_ids = dictionary._iri_ids
+    bnode_ids = dictionary._bnode_ids
+    literal_ids = dictionary._literal_ids
+    try:
+        for index in range(count):
+            kind = data[offset]
+            offset += 1
+            if kind == KIND_IRI:
+                (length,) = unpack_u32(data, offset)
+                offset += 4
+                key = data[offset:offset + length].decode("utf-8")
+                offset += length
+                iri_ids[key] = (index << _KIND_SHIFT) | KIND_IRI
+            elif kind == KIND_BLANK:
+                (length,) = unpack_u32(data, offset)
+                offset += 4
+                key = data[offset:offset + length].decode("utf-8")
+                offset += length
+                bnode_ids[key] = (index << _KIND_SHIFT) | KIND_BLANK
+            elif kind == KIND_LITERAL:
+                flags = data[offset]
+                offset += 1
+                (length,) = unpack_u32(data, offset)
+                offset += 4
+                lexical = data[offset:offset + length].decode("utf-8")
+                offset += length
+                datatype_value = None
+                if flags & _FLAG_DATATYPE:
+                    (length,) = unpack_u32(data, offset)
+                    offset += 4
+                    datatype_value = data[offset:offset + length].decode("utf-8")
+                    offset += length
+                language = None
+                if flags & _FLAG_LANGUAGE:
+                    (length,) = unpack_u32(data, offset)
+                    offset += 4
+                    language = data[offset:offset + length].decode("utf-8")
+                    offset += length
+                key = _literal_key(lexical, datatype_value, language)
+                literal_ids[key] = (index << _KIND_SHIFT) | KIND_LITERAL
+            else:
+                raise SnapshotError(f"unknown term kind tag {kind}")
+            keys.append(key)
+            kinds.append(kind)
+            cache.append(None)
+    except (IndexError, struct.error):
+        raise SnapshotError("truncated snapshot") from None
+    # A slice past the buffer end silently truncates; the final cursor
+    # position exposes it (field decoding above would also have tripped).
+    if offset > len(data):
+        raise SnapshotError("truncated snapshot")
+    reader.offset = offset
+    if len(iri_ids) + len(bnode_ids) + len(literal_ids) != count:
         raise SnapshotError("duplicate dictionary entries in snapshot")
     return dictionary
 
@@ -205,10 +258,14 @@ def load_snapshot(source: Union[str, os.PathLike, BinaryIO]) -> EncodedGraph:
         if term_id & _KIND_MASK != kinds[term_id >> _KIND_SHIFT]:
             raise SnapshotError("triple id kind tag disagrees with dictionary")
     graph = EncodedGraph(dictionary=dictionary)
-    add_ids = graph._add_ids
-    for index in range(0, len(ids), 3):
-        add_ids(ids[index], ids[index + 1], ids[index + 2], stats=False)
+    graph._bulk_insert_ids(ids)
     if len(graph) != n_triples:
         raise SnapshotError("duplicate triple records in snapshot")
     graph._rebuild_statistics()
+    if n_triples:
+        # The freshly built graph differs from an empty one: stamp the
+        # content change so version-keyed consumers (plan caches, the
+        # materialized-view registry) never read a populated graph as
+        # "version 0 == pristine".
+        graph._version += 1
     return graph

@@ -1,0 +1,278 @@
+"""Tests for the engine facade, execution profiles and ``open_graph``.
+
+Covers the API-redesign surface:
+
+* :class:`~repro.sparql.profile.ExecutionProfile` presets and the
+  deprecation shims for the legacy ``use_*`` evaluator kwargs,
+* :func:`repro.open_graph` — one entry point over files, backends and
+  snapshot warm starts,
+* :func:`repro.create_engine` / :class:`~repro.engine.Engine` — query,
+  explain, metrics, live views and lifecycle.
+"""
+
+import warnings
+
+import pytest
+
+from repro import (
+    Engine,
+    ExecutionProfile,
+    create_engine,
+    open_graph,
+)
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.terms import Triple
+from repro.sparql.evaluator import SparqlEvaluator
+from repro.sparql.parser import parse_query
+from repro.store import EncodedGraph
+
+from tests.helpers import EX
+
+
+NT = (
+    "<http://ex.org/n1> <http://ex.org/p> <http://ex.org/n2> .\n"
+    "<http://ex.org/n2> <http://ex.org/p> <http://ex.org/n3> .\n"
+)
+TTL = "@prefix ex: <http://ex.org/> . ex:n1 ex:p ex:n2 , ex:n3 ."
+QUERY = "PREFIX ex: <http://ex.org/>\nSELECT ?a ?b WHERE { ?a ex:p ?b }"
+
+
+def triples():
+    return [
+        Triple(EX.n1, EX.p, EX.n2),
+        Triple(EX.n2, EX.p, EX.n3),
+    ]
+
+
+# ----------------------------------------------------------------------
+# execution profiles
+# ----------------------------------------------------------------------
+class TestExecutionProfile:
+    def test_presets(self):
+        full = ExecutionProfile.FULL
+        assert (
+            full.use_planner
+            and full.use_id_execution
+            and full.use_filter_pushdown
+            and full.use_id_paths
+            and full.use_wcoj
+        )
+        id_native = ExecutionProfile.ID_NATIVE
+        assert id_native.use_id_execution and not id_native.use_wcoj
+        baseline = ExecutionProfile.BASELINE
+        assert baseline.use_planner
+        assert not (
+            baseline.use_id_execution
+            or baseline.use_filter_pushdown
+            or baseline.use_id_paths
+            or baseline.use_wcoj
+        )
+        assert str(full) == "full"
+        assert str(baseline) == "baseline"
+
+    def test_with_options_renames_to_custom(self):
+        derived = ExecutionProfile.FULL.with_options(use_wcoj=False)
+        assert derived.name == "custom"
+        assert not derived.use_wcoj
+        assert derived.use_id_paths
+        named = ExecutionProfile.FULL.with_options(name="ablation", use_wcoj=False)
+        assert named.name == "ablation"
+
+    def test_evaluator_accepts_profile(self):
+        dataset = Dataset.from_graph(Graph(triples()))
+        evaluator = SparqlEvaluator(dataset, profile=ExecutionProfile.BASELINE)
+        assert evaluator.profile is ExecutionProfile.BASELINE
+        assert not evaluator.use_id_execution
+        assert len(list(evaluator.evaluate(parse_query(QUERY)).rows())) == 2
+
+    def test_default_profile_is_full(self):
+        evaluator = SparqlEvaluator(Dataset())
+        assert evaluator.profile is ExecutionProfile.FULL
+
+
+class TestDeprecatedKwargs:
+    def test_legacy_kwargs_warn_and_resolve_to_custom_profile(self):
+        dataset = Dataset.from_graph(Graph(triples()))
+        with pytest.warns(DeprecationWarning, match="ExecutionProfile"):
+            evaluator = SparqlEvaluator(dataset, use_wcoj=False)
+        assert evaluator.profile.name == "custom"
+        assert not evaluator.use_wcoj
+        assert evaluator.use_id_execution  # untouched knobs keep FULL values
+        assert len(list(evaluator.evaluate(parse_query(QUERY)).rows())) == 2
+
+    def test_legacy_kwargs_match_baseline_semantics(self):
+        dataset = Dataset.from_graph(Graph(triples()))
+        with pytest.warns(DeprecationWarning):
+            legacy = SparqlEvaluator(
+                dataset,
+                use_id_execution=False,
+                use_filter_pushdown=False,
+                use_id_paths=False,
+                use_wcoj=False,
+            )
+        for knob in (
+            "use_planner",
+            "use_id_execution",
+            "use_filter_pushdown",
+            "use_id_paths",
+            "use_wcoj",
+        ):
+            assert getattr(legacy, knob) == getattr(
+                ExecutionProfile.BASELINE, knob
+            )
+
+    def test_mixing_profile_and_legacy_kwargs_is_an_error(self):
+        with pytest.raises(ValueError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                SparqlEvaluator(
+                    Dataset(),
+                    profile=ExecutionProfile.FULL,
+                    use_wcoj=False,
+                )
+
+
+# ----------------------------------------------------------------------
+# open_graph
+# ----------------------------------------------------------------------
+class TestOpenGraph:
+    def test_empty_default_backend(self):
+        graph = open_graph()
+        assert isinstance(graph, Graph)
+        assert len(graph) == 0
+
+    def test_empty_encoded_backend(self):
+        graph = open_graph(backend="encoded")
+        assert isinstance(graph, EncodedGraph)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            open_graph(backend="btree")
+
+    @pytest.mark.parametrize("backend", ["hash", "encoded"])
+    def test_load_ntriples_by_extension(self, tmp_path, backend):
+        source = tmp_path / "data.nt"
+        source.write_text(NT)
+        graph = open_graph(source, backend=backend)
+        assert set(graph.triples()) == set(triples())
+
+    @pytest.mark.parametrize("backend", ["hash", "encoded"])
+    def test_load_turtle_by_extension(self, tmp_path, backend):
+        source = tmp_path / "data.ttl"
+        source.write_text(TTL)
+        graph = open_graph(source, backend=backend)
+        assert len(graph) == 2
+
+    def test_format_override_beats_extension(self, tmp_path):
+        source = tmp_path / "data.rdf"
+        source.write_text(NT)
+        graph = open_graph(source, backend="encoded", format="ntriples")
+        assert len(graph) == 2
+
+    def test_unknown_extension_without_format(self, tmp_path):
+        source = tmp_path / "data.rdf"
+        source.write_text(NT)
+        with pytest.raises(ValueError):
+            open_graph(source)
+
+    def test_snapshot_warm_start_roundtrip(self, tmp_path):
+        source = tmp_path / "data.nt"
+        source.write_text(NT)
+        snapshot = tmp_path / "data.snap"
+        cold = open_graph(source, snapshot=snapshot)
+        assert isinstance(cold, EncodedGraph)
+        assert snapshot.exists()
+        # Second open must come from the snapshot, not the source file.
+        source.write_text("")
+        warm = open_graph(source, snapshot=snapshot)
+        assert set(warm.triples()) == set(triples())
+
+    def test_snapshot_requires_encoded_backend(self, tmp_path):
+        with pytest.raises(ValueError):
+            open_graph(snapshot=tmp_path / "data.snap", backend="hash")
+
+    def test_snapshot_only_persists_empty_graph(self, tmp_path):
+        snapshot = tmp_path / "empty.snap"
+        first = open_graph(snapshot=snapshot)
+        assert isinstance(first, EncodedGraph)
+        assert len(first) == 0
+        assert snapshot.exists()
+
+
+# ----------------------------------------------------------------------
+# engine facade
+# ----------------------------------------------------------------------
+class TestCreateEngine:
+    def test_over_hash_graph(self):
+        engine = create_engine(Graph(triples()))
+        assert isinstance(engine, Engine)
+        assert isinstance(engine.graph, Graph)
+
+    def test_over_encoded_graph(self):
+        engine = create_engine(EncodedGraph(triples()))
+        assert isinstance(engine.graph, EncodedGraph)
+
+    def test_over_dataset(self):
+        dataset = Dataset.from_graph(Graph(triples()))
+        engine = create_engine(dataset)
+        assert engine.dataset is dataset
+
+    def test_over_nothing(self):
+        engine = create_engine()
+        assert len(engine.graph) == 0
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            create_engine(42)
+
+    def test_profile_is_threaded_through(self):
+        engine = create_engine(Graph(), profile=ExecutionProfile.BASELINE)
+        assert engine.profile is ExecutionProfile.BASELINE
+
+
+class TestEngine:
+    def test_query_parses_strings(self):
+        engine = create_engine(Graph(triples()))
+        rows = list(engine.query(QUERY).rows())
+        assert len(rows) == 2
+
+    def test_query_accepts_parsed_queries(self):
+        engine = create_engine(Graph(triples()))
+        assert len(list(engine.query(parse_query(QUERY)).rows())) == 2
+
+    def test_ask_query_returns_bool(self):
+        engine = create_engine(Graph(triples()))
+        assert engine.query("ASK { ?s ?p ?o }") is True
+
+    def test_explain_renders_a_plan(self):
+        engine = create_engine(EncodedGraph(triples()))
+        two_hop = (
+            "PREFIX ex: <http://ex.org/>\n"
+            "SELECT ?a ?c WHERE { ?a ex:p ?b . ?b ex:p ?c }"
+        )
+        assert "Scan" in engine.explain(two_hop)
+
+    def test_explain_analyze_reports(self):
+        engine = create_engine(EncodedGraph(triples()))
+        report = engine.explain_analyze(QUERY)
+        assert report.rows
+
+    def test_metrics_exposes_ivm_counters(self):
+        engine = create_engine(Graph(triples()))
+        snapshot = engine.metrics()
+        assert "ivm_views_active" in snapshot
+        assert snapshot["ivm_views_active"] == 0
+
+    def test_context_manager_closes_views(self):
+        graph = Graph(triples())
+        with create_engine(graph) as engine:
+            view = engine.materialize(QUERY)
+            assert len(view) == 2
+        assert view.closed
+        assert graph._delta_listeners == []
+
+    def test_repr_mentions_profile_and_views(self):
+        engine = create_engine(Graph(triples()))
+        engine.materialize(QUERY)
+        text = repr(engine)
+        assert "full" in text and "views=1" in text

@@ -15,6 +15,7 @@ QUICK_EXAMPLES = [
     "property_paths.py",
     "ontology_reasoning.py",
     "bag_semantics.py",
+    "live_views.py",
 ]
 
 

@@ -23,6 +23,7 @@ from hypothesis import given, settings, strategies as st
 from repro.rdf.graph import Dataset, Graph
 from repro.rdf.terms import Literal, Triple, Variable, XSD_INTEGER
 from repro.sparql.evaluator import SparqlEvaluator
+from repro.sparql.profile import ExecutionProfile
 from repro.sparql.expressions import (
     And,
     Comparison,
@@ -49,23 +50,23 @@ def tp(subject, predicate, obj):
 
 
 def _all_configurations(graph_triples):
-    """Both backends x (optimised, WCOJ-disabled, decoded-baseline) evaluators.
+    """Both backends x (FULL, ID_NATIVE, BASELINE) execution profiles.
 
-    The default evaluator may lower cyclic BGPs to the leapfrog-triejoin
-    operator on the encoded backend; the ``use_wcoj=False`` configuration
-    pins the binary index-nested-loop pipeline, so any divergence between
-    the two isolates the WCOJ operator.
+    The FULL profile may lower cyclic BGPs to the leapfrog-triejoin
+    operator on the encoded backend; ID_NATIVE pins the binary
+    index-nested-loop pipeline, so any divergence between the two
+    isolates the WCOJ operator; BASELINE is the decoded post-filtered
+    differential oracle.
     """
     configurations = []
     for backend in (Graph, EncodedGraph):
         dataset = Dataset.from_graph(backend(graph_triples))
-        configurations.append(SparqlEvaluator(dataset))
-        configurations.append(SparqlEvaluator(dataset, use_wcoj=False))
-        configurations.append(
-            SparqlEvaluator(
-                dataset, use_id_execution=False, use_filter_pushdown=False
-            )
-        )
+        for profile in (
+            ExecutionProfile.FULL,
+            ExecutionProfile.ID_NATIVE,
+            ExecutionProfile.BASELINE,
+        ):
+            configurations.append(SparqlEvaluator(dataset, profile=profile))
     return configurations
 
 
@@ -439,9 +440,7 @@ def test_differential_workload_queries(name, workload):
     """Every workload query: id-native multiset == decoded multiset."""
     dataset = workload.dataset()
     idnative = SparqlEvaluator(dataset)
-    decoded = SparqlEvaluator(
-        dataset, use_id_execution=False, use_filter_pushdown=False
-    )
+    decoded = SparqlEvaluator(dataset, profile=ExecutionProfile.BASELINE)
     compared = 0
     for query in workload.queries()[:8]:
         try:
